@@ -1,0 +1,86 @@
+"""Ablation: analytic cache model vs trace-driven simulation.
+
+The runtime figures use the trace-driven simulator; the analytic
+stack-distance model (``repro.machine.analytic``) trades per-address
+fidelity for ~30-80x speed.  What the figures actually depend on is the
+*ordering* of optimization levels (who wins), so this bench validates that
+the analytic model agrees with the simulator on every level pair whose
+simulated misses differ meaningfully, and reports the miss-count ratios.
+"""
+
+import time
+
+from repro.benchsuite import ALL_BENCHMARKS
+from repro.fusion import ALL_LEVELS, plan_program
+from repro.machine import CRAY_T3E, estimate_analytic, estimate_sequential
+from repro.scalarize import scalarize
+from repro.util.tables import render_table
+
+LEVEL_NAMES = ["baseline", "f2", "c2"]
+
+
+def measure():
+    rows = []
+    agreements = []
+    speedups = []
+    for bench in ALL_BENCHMARKS:
+        program = bench.program()
+        trace_misses = {}
+        quick_misses = {}
+        for level in ALL_LEVELS:
+            if level.name not in LEVEL_NAMES:
+                continue
+            scalar_program = scalarize(program, plan_program(program, level))
+            started = time.time()
+            trace = estimate_sequential(scalar_program, CRAY_T3E, 2)
+            trace_time = time.time() - started
+            started = time.time()
+            quick = estimate_analytic(scalar_program, CRAY_T3E, 2)
+            quick_time = time.time() - started
+            trace_misses[level.name] = trace.counts.misses[0]
+            quick_misses[level.name] = quick.counts.misses[0]
+            speedups.append(trace_time / max(quick_time, 1e-9))
+        # Ordering agreement over pairs with a meaningful simulated gap.
+        names = list(trace_misses)
+        for i, a in enumerate(names):
+            for b in names[i + 1 :]:
+                lo, hi = sorted([trace_misses[a], trace_misses[b]])
+                if hi < 1000 or hi < 1.3 * lo:
+                    continue  # too close to call
+                trace_order = trace_misses[a] < trace_misses[b]
+                quick_order = quick_misses[a] < quick_misses[b]
+                agreements.append(
+                    (bench.name, a, b, trace_order == quick_order)
+                )
+        row = [bench.name]
+        for name in LEVEL_NAMES:
+            trace_value = trace_misses[name]
+            quick_value = quick_misses[name]
+            ratio = (quick_value + 1) / (trace_value + 1)
+            row.append("%.0f / %.0f (%.2f)" % (trace_value, quick_value, ratio))
+        rows.append(row)
+    table = render_table(
+        ["benchmark"] + ["%s: trace/analytic (ratio)" % n for n in LEVEL_NAMES],
+        rows,
+        title="Ablation: analytic cache model vs trace simulation "
+        "(L1 misses, Cray T3E)",
+    )
+    return table, agreements, speedups
+
+
+def test_ablation_analytic_model(benchmark, save_result):
+    table, agreements, speedups = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    assert agreements, "no decidable level pairs"
+    agreed = sum(1 for *_pair, ok in agreements if ok)
+    assert agreed == len(agreements), [
+        pair for *pair, ok in agreements if not ok
+    ]
+    mean_speedup = sum(speedups) / len(speedups)
+    assert mean_speedup > 5.0
+    save_result(
+        "ablation_analytic",
+        table + "\nordering agreement: %d/%d pairs, mean speedup %.0fx"
+        % (agreed, len(agreements), mean_speedup),
+    )

@@ -1,0 +1,64 @@
+"""Ablation: the individual communication optimizations (Section 5.5).
+
+The paper (citing Choi & Snyder's "Quantifying the effect of communication
+optimizations") applies message vectorization always and layers redundancy
+elimination, combining and pipelining on top.  This ablation toggles each
+optimization independently on the stencil benchmarks and reports total
+communication time, showing each one's contribution and that the full stack
+is fastest.
+"""
+
+from repro.benchsuite import get_benchmark
+from repro.fusion import C2F3, plan_program
+from repro.machine import IBM_SP2
+from repro.parallel import CommOptions, estimate_parallel
+from repro.scalarize import scalarize
+from repro.util.tables import render_table
+
+P = 16
+
+CONFIGS = [
+    ("none", CommOptions(False, False, False)),
+    ("+redundancy elim", CommOptions(True, False, False)),
+    ("+combining", CommOptions(True, True, False)),
+    ("+pipelining (all)", CommOptions(True, True, True)),
+]
+
+
+def measure():
+    rows = []
+    comm_by_bench = {}
+    for name in ("Tomcatv", "Simple", "SP"):
+        bench = get_benchmark(name)
+        program = bench.program()
+        scalar_program = scalarize(program, plan_program(program, C2F3))
+        series = []
+        for _label, options in CONFIGS:
+            cost = estimate_parallel(
+                scalar_program,
+                IBM_SP2,
+                P,
+                comm_options=options,
+                sample_iterations=2,
+            )
+            series.append(cost.comm_microseconds)
+        comm_by_bench[name] = series
+        rows.append([name] + series)
+    table = render_table(
+        ["benchmark"] + [label for label, _o in CONFIGS],
+        rows,
+        title="Ablation: communication optimizations, comm time (us), "
+        "IBM SP-2, p=%d" % P,
+    )
+    return table, comm_by_bench
+
+
+def test_ablation_comm_optimizations(benchmark, save_result):
+    table, comm_by_bench = benchmark.pedantic(measure, rounds=1, iterations=1)
+    for name, series in comm_by_bench.items():
+        # Each added optimization never increases communication time, and
+        # the full stack strictly beats no optimization.
+        for before, after in zip(series, series[1:]):
+            assert after <= before + 1e-9, name
+        assert series[-1] < series[0], name
+    save_result("ablation_commopts", table)

@@ -1,0 +1,92 @@
+"""Ablation: greedy weight ordering in FUSION-FOR-CONTRACTION.
+
+The paper's algorithm considers arrays "in order of decreasing weight"
+(Figure 3, line 3) so the largest single contributions to the contraction
+benefit come first.  This ablation replaces the ordering with block order
+(first-referenced first) and measures the lost contraction benefit on the
+tradeoff workloads — demonstrating why the weighing matters (Section 5.1's
+fragment (8) discussion).
+"""
+
+from repro.compilers.fragments import FRAGMENTS
+from repro.deps import build_asdg
+from repro.fusion import FusionPartition, contraction_benefit
+from repro.fusion.algorithm import fusion_for_contraction
+from repro.fusion.contract import eligible_candidates, is_contractible
+from repro.fusion.grow import grown
+from repro.ir import normalize_source
+from repro.ir.statement import basic_blocks
+from repro.util.tables import render_table
+
+
+def unweighted_fusion(partition, candidates, config_env):
+    """Figure 3 without the weight sort: candidates in block order."""
+    contracted = []
+    for variable in candidates:
+        clusters = partition.clusters_referencing(variable)
+        if not clusters:
+            continue
+        clusters = grown(clusters, partition)
+        if not is_contractible(variable, clusters, partition):
+            continue
+        if not partition.merge_is_fusion_partition(clusters):
+            continue
+        if len(clusters) > 1:
+            partition.merge(clusters)
+        contracted.append(variable)
+    return contracted
+
+
+def run_comparison():
+    rows = []
+    total = {"weighted": 0, "block": 0, "reversed": 0}
+    for fragment in FRAGMENTS:
+        program = normalize_source(fragment.source)
+        blocks = list(basic_blocks(program.body))
+        _start, probe = blocks[-1]
+        config_env = program.config_env()
+        benefits = {}
+        for mode in ("weighted", "block", "reversed"):
+            partition = FusionPartition(build_asdg(probe))
+            candidates = eligible_candidates(program, probe, True)
+            if mode == "weighted":
+                contracted = fusion_for_contraction(
+                    partition, candidates, config_env
+                )
+            elif mode == "block":
+                contracted = unweighted_fusion(partition, candidates, config_env)
+            else:
+                contracted = unweighted_fusion(
+                    partition, list(reversed(candidates)), config_env
+                )
+            benefits[mode] = contraction_benefit(
+                contracted, partition.graph, config_env
+            )
+            total[mode] += benefits[mode]
+        rows.append(
+            [
+                fragment.number,
+                benefits["weighted"],
+                benefits["block"],
+                benefits["reversed"],
+            ]
+        )
+    rows.append(
+        ["total", total["weighted"], total["block"], total["reversed"]]
+    )
+    table = render_table(
+        ["fragment", "weighted", "block order", "reversed order"],
+        rows,
+        title="Ablation: candidate ordering in FUSION-FOR-CONTRACTION "
+        "(Figure 3 line 3)",
+    )
+    return table, total
+
+
+def test_ablation_weight_order(benchmark, save_result):
+    table, total = benchmark(run_comparison)
+    # Weight ordering never loses, and beats the adversarial (compiler-
+    # temp-first) order on the tradeoff fragment.
+    assert total["weighted"] >= total["block"]
+    assert total["weighted"] > total["reversed"]
+    save_result("ablation_weights", table)

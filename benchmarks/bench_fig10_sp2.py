@@ -1,0 +1,18 @@
+"""Figure 10: benchmark performance on the IBM SP-2 model."""
+
+from repro.eval import render_runtime_figure, runtime_sweep
+from repro.machine import IBM_SP2
+
+
+def sweep():
+    return runtime_sweep(IBM_SP2, sample_iterations=2)
+
+
+def test_fig10_runtime_sp2(benchmark, save_result):
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for name, result in results.items():
+        for p in (1, 4, 16, 64):
+            assert result.improvement("c2", p) > 10.0, (name, p)
+    for name in ("EP", "Frac", "Fibro"):
+        assert abs(results[name].improvement("c1", 1)) < 1.0, name
+    save_result("fig10_sp2", render_runtime_figure(IBM_SP2, results))

@@ -1,0 +1,16 @@
+"""Figure 11: benchmark performance on the Intel Paragon model."""
+
+from repro.eval import render_runtime_figure, runtime_sweep
+from repro.machine import INTEL_PARAGON
+
+
+def sweep():
+    return runtime_sweep(INTEL_PARAGON, sample_iterations=2)
+
+
+def test_fig11_runtime_paragon(benchmark, save_result):
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for name, result in results.items():
+        for p in (1, 4, 16, 64):
+            assert result.improvement("c2", p) > 10.0, (name, p)
+    save_result("fig11_paragon", render_runtime_figure(INTEL_PARAGON, results))

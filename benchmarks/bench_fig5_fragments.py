@@ -1,0 +1,29 @@
+"""Figure 5: the compiler-probe code fragments.
+
+Benchmarks the ZPL personality's full analysis of the eight fragments and
+records what each fragment compiled to (clusters, contraction) under the
+paper's algorithm.
+"""
+
+from repro.compilers import FRAGMENTS, ZPL_113
+
+
+def run_battery():
+    return [ZPL_113.run_fragment(fragment) for fragment in FRAGMENTS]
+
+
+def test_fig5_fragment_battery(benchmark, save_result):
+    outcomes = benchmark(run_battery)
+    lines = ["Figure 5: fragment outcomes under the ZPL algorithm", ""]
+    for fragment, outcome in zip(FRAGMENTS, outcomes):
+        lines.append(
+            "(%d) %-55s clusters=%d contracted=%s"
+            % (
+                fragment.number,
+                fragment.title,
+                outcome.probe_clusters,
+                sorted(outcome.contracted),
+            )
+        )
+        assert fragment.success(outcome), fragment.number
+    save_result("fig5_fragments", "\n".join(lines))

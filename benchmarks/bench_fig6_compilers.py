@@ -1,0 +1,15 @@
+"""Figure 6: observed behaviour of five array-language compilers.
+
+Regenerates the check-mark table by running every compiler personality over
+the Figure 5 fragment battery, and asserts the pattern matches the paper's
+running text.
+"""
+
+from repro.compilers import EXPECTED, figure6_results, render_figure6
+
+
+def test_fig6_compiler_table(benchmark, save_result):
+    results = benchmark(figure6_results)
+    for label, outcome in results.items():
+        assert outcome == EXPECTED[label], label
+    save_result("fig6_compilers", render_figure6())

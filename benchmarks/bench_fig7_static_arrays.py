@@ -1,0 +1,20 @@
+"""Figure 7: static arrays contracted, per benchmark.
+
+Regenerates the table (measured alongside the paper's published values) and
+asserts the qualitative claims: all compiler temporaries are eliminated, EP
+reaches zero arrays, Tomcatv matches its scalar-language equivalent.
+"""
+
+from repro.eval import figure7_rows, render_figure7
+
+
+def test_fig7_static_arrays(benchmark, save_result):
+    rows = benchmark(figure7_rows)
+    by_name = {row.name: row for row in rows}
+    for row in rows:
+        assert row.all_compiler_temps_eliminated, row.name
+        assert row.after < row.before, row.name
+    assert by_name["EP"].after == 0
+    assert by_name["Frac"].after == 1
+    assert by_name["Tomcatv"].after == by_name["Tomcatv"].scalar_language == 7
+    save_result("fig7_static_arrays", render_figure7(rows))

@@ -1,0 +1,30 @@
+"""Figure 8: effect of contraction on the maximum achievable problem size.
+
+Regenerates the table: the analytic scaling metric C = 100*(l_b/l_a - 1)
+and the experimentally determined largest problem fitting a fixed memory
+budget, with and without contraction.  Asserts the paper's central claim
+that C accurately predicts the measured volume change, and that EP becomes
+unbounded (constant memory).
+"""
+
+import pytest
+
+from repro.eval import figure8_rows, render_figure8
+
+BUDGET = 4 * 1024 * 1024
+
+
+def test_fig8_memory_scaling(benchmark, save_result):
+    rows = benchmark.pedantic(
+        figure8_rows, kwargs={"budget_bytes": BUDGET}, rounds=1, iterations=1
+    )
+    by_name = {row.name: row for row in rows}
+    assert by_name["EP"].unbounded
+    for row in rows:
+        if row.unbounded or row.c_percent is None:
+            continue
+        assert row.volume_change_percent == pytest.approx(
+            row.c_percent, rel=0.2
+        ), row.name
+        assert row.size_after > row.size_before
+    save_result("fig8_memory", render_figure8(rows))

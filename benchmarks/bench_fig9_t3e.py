@@ -1,0 +1,33 @@
+"""Figure 9: benchmark performance on the Cray T3E model.
+
+Regenerates the percent-improvement-over-baseline series for every
+benchmark, strategy and processor count, and asserts the paper's shapes:
+c2 dominates, f1/c1 are no-ops for the codes without compiler temporaries,
+and fusion-without-contraction slows the cache-sensitive codes down.
+"""
+
+from repro.eval import render_runtime_figure, runtime_sweep
+from repro.machine import CRAY_T3E
+
+
+def sweep():
+    return runtime_sweep(CRAY_T3E, sample_iterations=2)
+
+
+def check_shapes(results):
+    for name, result in results.items():
+        for p in (1, 4, 16, 64):
+            assert result.improvement("c2", p) > 20.0, (name, p)
+    for name in ("EP", "Frac", "Fibro"):
+        assert abs(results[name].improvement("c1", 1)) < 1.0, name
+    for name in ("Tomcatv", "Fibro"):
+        assert results[name].improvement("f3", 1) < 0.0, name
+    # c2+f4 is no better than c2+f3 for Fibro (the paper's example).
+    fibro = results["Fibro"]
+    assert fibro.improvement("c2+f4", 1) <= fibro.improvement("c2+f3", 1) + 1.0
+
+
+def test_fig9_runtime_t3e(benchmark, save_result):
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    check_shapes(results)
+    save_result("fig9_t3e", render_runtime_figure(CRAY_T3E, results))

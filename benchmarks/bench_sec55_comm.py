@@ -1,0 +1,27 @@
+"""Section 5.5: interaction with communication optimization.
+
+Regenerates the favor-communication slowdown table on all three machine
+models and asserts the paper's shape: the stencil codes (Simple, Tomcatv,
+SP) pay for favoring communication, while EP and Frac — which have no
+communication to favor — are untouched.
+"""
+
+from repro.eval import interaction_sweep, render_interaction
+from repro.machine import ALL_MACHINES
+
+
+def sweep_all():
+    return {
+        machine.name: interaction_sweep(machine, sample_iterations=2)
+        for machine in ALL_MACHINES
+    }
+
+
+def test_sec55_comm_interaction(benchmark, save_result):
+    results = benchmark.pedantic(sweep_all, rounds=1, iterations=1)
+    for machine_name, by_bench in results.items():
+        for name in ("EP", "Frac"):
+            assert abs(by_bench[name]) < 0.5, (machine_name, name)
+        for name in ("Simple", "Tomcatv", "SP"):
+            assert by_bench[name] > 0.0, (machine_name, name)
+    save_result("sec55_comm_interaction", render_interaction(results))

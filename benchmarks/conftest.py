@@ -1,0 +1,29 @@
+"""Shared helpers for the figure-reproduction benchmarks.
+
+Each ``bench_*`` module regenerates one table or figure of the paper,
+printing it and saving it under ``results/`` so EXPERIMENTS.md can quote it.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def save_result(results_dir):
+    def save(name: str, text: str) -> None:
+        path = results_dir / ("%s.txt" % name)
+        path.write_text(text + "\n")
+        print()
+        print(text)
+        print("[saved to %s]" % path)
+
+    return save

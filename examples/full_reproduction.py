@@ -1,0 +1,30 @@
+"""Full reproduction in one command.
+
+Regenerates every paper artifact — compiler comparison (Figure 6), static
+array counts (Figure 7), problem-size scaling (Figure 8), the runtime
+strategy sweep (Figures 9-11 family) and the communication-interaction
+study (Section 5.5) — and prints one consolidated report.
+
+Run:  python examples/full_reproduction.py [fast|full]
+
+``fast`` (default) uses reduced sizes and one machine model (~30 s);
+``full`` matches the benchmark harnesses (several minutes).
+"""
+
+import sys
+import time
+
+from repro.eval.report import generate_report
+
+
+def main() -> None:
+    profile = sys.argv[1] if len(sys.argv) > 1 else "fast"
+    started = time.time()
+    report = generate_report(profile)
+    print(report)
+    print()
+    print("[report generated in %.1f s]" % (time.time() - started))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,122 @@
+"""Parallel stencil study: fusion, contraction and communication together.
+
+Compiles a Jacobi-style relaxation at scaled problem sizes and walks the
+paper's parallel story: per-node compute time from the cache model,
+boundary-exchange communication with the optimizations of Section 5.5, the
+two interaction policies, and the resulting percent improvements over
+baseline on all three machine models.
+
+Run:  python examples/parallel_stencil.py
+"""
+
+from repro.fusion import ALL_LEVELS, BASELINE, C2F3, plan_program
+from repro.ir import normalize_source
+from repro.machine import ALL_MACHINES
+from repro.parallel import (
+    FAVOR_COMM,
+    FAVOR_FUSION,
+    estimate_parallel,
+    plan_program_with_policy,
+)
+from repro.scalarize import scalarize
+from repro.util.tables import improvement_over, render_table
+
+SOURCE = """
+program relax;
+
+config n : integer = 64;
+config steps : integer = 2;
+
+region G = [1..n, 1..n];
+region I = [2..n-1, 2..n-1];
+
+var U, UN, F : [G] float;
+var DX, DY, RES, W : [G] float;
+var t : integer;
+var resid : float;
+
+begin
+  [G] U := 0.0;
+  [G] F := ((Index1 * 7.9 + Index2 * 3.3) % 1.0) - 0.5;
+  for t := 1 to steps do
+    [I] DX := U@(0,1) + U@(0,-1);
+    [I] DY := U@(1,0) + U@(-1,0);
+    [I] W := (DX + DY + F) * 0.25;
+    [I] RES := W - U;
+    [I] UN := U + 0.9 * RES;
+    [I] U := UN;
+  end;
+  resid := +<< [I] abs(U);
+end;
+"""
+
+
+def main() -> None:
+    program = normalize_source(SOURCE)
+
+    print("=== Per-level improvement over baseline (p = 16) ===")
+    rows = []
+    for machine in ALL_MACHINES:
+        base = estimate_parallel(
+            scalarize(program, plan_program(program, BASELINE)), machine, 16
+        ).microseconds
+        row = [machine.name]
+        for level in ALL_LEVELS[1:]:
+            time = estimate_parallel(
+                scalarize(program, plan_program(program, level)), machine, 16
+            ).microseconds
+            row.append(improvement_over(base, time))
+        rows.append(row)
+    headers = ["machine"] + [level.name for level in ALL_LEVELS[1:]]
+    print(render_table(headers, rows))
+
+    print()
+    print("=== Interaction policies at c2+f3 (Section 5.5) ===")
+    rows = []
+    for machine in ALL_MACHINES:
+        times = {}
+        for policy in (FAVOR_FUSION, FAVOR_COMM):
+            plan = plan_program_with_policy(program, C2F3, policy, 16)
+            cost = estimate_parallel(scalarize(program, plan), machine, 16)
+            times[policy] = cost
+        slowdown = 100.0 * (
+            times[FAVOR_COMM].microseconds - times[FAVOR_FUSION].microseconds
+        ) / times[FAVOR_FUSION].microseconds
+        rows.append(
+            [
+                machine.name,
+                times[FAVOR_FUSION].microseconds,
+                times[FAVOR_COMM].microseconds,
+                slowdown,
+            ]
+        )
+    print(
+        render_table(
+            ["machine", "favor-fusion (us)", "favor-comm (us)", "slowdown %"],
+            rows,
+        )
+    )
+
+    print()
+    print("=== Communication share by processor count (T3E, c2+f3) ===")
+    machine = ALL_MACHINES[0]
+    plan = plan_program_with_policy(program, C2F3, FAVOR_FUSION, 16)
+    scalar_program = scalarize(program, plan)
+    rows = []
+    for p in (1, 4, 16, 64, 256):
+        cost = estimate_parallel(scalar_program, machine, p)
+        share = (
+            100.0 * cost.comm_microseconds / cost.microseconds
+            if cost.microseconds
+            else 0.0
+        )
+        rows.append([p, cost.compute_microseconds, cost.comm_microseconds, share])
+    print(
+        render_table(
+            ["p", "compute (us)", "comm (us)", "comm share %"], rows
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""Periodic diffusion: boundary statements meet fusion and contraction.
+
+Solves a diffusion equation on a torus: ``wrap`` fills the halo
+periodically before each stencil step, exactly how ZPL programs express
+periodic boundary conditions.  Boundary statements are compiler-primitive-
+like — they never fuse (they both read and write their array) and they pin
+the wrapped array's storage, while the step's temporaries still contract.
+
+Run:  python examples/periodic_diffusion.py
+"""
+
+import numpy as np
+
+from repro.fusion import BASELINE, C2F3, plan_program
+from repro.interp import run_reference, run_scalarized
+from repro.ir import normalize_source
+from repro.machine import CRAY_T3E, estimate_sequential
+from repro.scalarize import scalarize
+
+SOURCE = """
+program torus;
+
+config n : integer = 48;
+config steps : integer = 6;
+
+region R = [1..n, 1..n];
+
+var U, LAP, FLX, FLY, UN : [R] float;
+var t : integer;
+var mass, peak : float;
+
+begin
+  -- a hot spot on a cold torus
+  [R] U := max(0.0, 4.0 - abs(Index1 - n * 0.5) - abs(Index2 - n * 0.5));
+
+  for t := 1 to steps do
+    [R] wrap U;
+    -- fluxes and Laplacian through contracted temporaries
+    [R] FLX := U@(0,1) - U;
+    [R] FLY := U@(1,0) - U;
+    [R] LAP := FLX - (U - U@(0,-1)) + FLY - (U - U@(-1,0));
+    [R] UN := U + 0.2 * LAP;
+    [R] U := UN;
+  end;
+
+  mass := +<< [R] U;
+  peak := max<< [R] U;
+end;
+"""
+
+
+def main() -> None:
+    program = normalize_source(SOURCE)
+
+    plan = plan_program(program, C2F3)
+    print("boundary statements :", len(program.boundary_statements()))
+    print("contracted          :", sorted(plan.contracted_arrays()))
+    print("surviving           :", sorted(plan.live_arrays()))
+    print("(U cannot contract: the wrap statement pins its storage)")
+
+    reference = run_reference(program)
+    optimized = run_scalarized(scalarize(program, plan))
+    assert np.isclose(
+        float(optimized.scalars["mass"]), float(reference.scalars["mass"])
+    )
+    print()
+    print(
+        "mass conserved on the torus: %.6f -> %.6f (diffusion only moves it)"
+        % (reference.scalars["mass"], optimized.scalars["mass"])
+    )
+    print("peak after diffusion: %.6f" % optimized.scalars["peak"])
+
+    print()
+    for name, level in (("baseline", BASELINE), ("c2+f3", C2F3)):
+        scalar_program = scalarize(program, plan_program(program, level))
+        cost = estimate_sequential(scalar_program, CRAY_T3E, sample_iterations=2)
+        print(
+            "%-8s  %12.0f cycles   arrays %d"
+            % (name, cost.cycles, scalar_program.array_count())
+        )
+
+
+if __name__ == "__main__":
+    main()

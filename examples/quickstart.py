@@ -1,0 +1,85 @@
+"""Quickstart: compile a small array program through the whole pipeline.
+
+Shows every stage of the array-level approach from the paper:
+
+  source -> normalized statements -> ASDG -> fusion partition ->
+  contraction -> scalarized loop nests -> C code,
+
+and runs both interpreters to demonstrate that the optimized program
+computes exactly what the array semantics prescribe.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.deps import build_asdg
+from repro.fusion import BASELINE, C2, plan_program
+from repro.interp import run_reference, run_scalarized
+from repro.ir import normalize_source
+from repro.scalarize import render_c, scalarize
+
+SOURCE = """
+program quickstart;
+
+config n : integer = 8;
+
+region R = [1..n, 1..n];
+
+var A, B, C : [R] float;
+var total : float;
+
+begin
+  -- seed A from the index space
+  [R] A := Index1 * 1.5 + Index2;
+  -- B and C are temporaries: dead after this fragment's last use
+  [R] B := A@(0,-1) + A@(0,1);
+  [R] C := B * 0.5;
+  -- a self-update: the compiler inserts (and then contracts) a temporary
+  [R] A := A + C;
+  total := +<< [R] A;
+end;
+"""
+
+
+def main() -> None:
+    print("=== 1. Normalized program (Section 2.1) ===")
+    program = normalize_source(SOURCE)
+    print(program.render())
+
+    print()
+    print("=== 2. Array statement dependence graph (Definition 3) ===")
+    block = max(program.blocks(), key=len)
+    print(build_asdg(block).render())
+
+    print()
+    print("=== 3. Fusion for contraction (Figure 3) ===")
+    plan = plan_program(program, C2)
+    block_plan = plan.plan_for(block)
+    print(block_plan.partition.render())
+    print("contracted:", sorted(plan.contracted_arrays()))
+    print("surviving :", plan.live_arrays())
+
+    print()
+    print("=== 4. Scalarized code, before and after (Section 4.2) ===")
+    baseline_code = render_c(scalarize(program, plan_program(program, BASELINE)))
+    optimized_code = render_c(scalarize(program, plan))
+    print("baseline: %d loop nests" % baseline_code.count("for (_i1"))
+    print("c2      : %d loop nests" % optimized_code.count("for (_i1"))
+    print()
+    print(optimized_code)
+
+    print("=== 5. Semantics preserved ===")
+    reference = run_reference(program)
+    optimized = run_scalarized(scalarize(program, plan))
+    assert np.isclose(
+        float(optimized.scalars["total"]), float(reference.scalars["total"])
+    )
+    print(
+        "total = %.6f (reference) = %.6f (optimized)"
+        % (reference.scalars["total"], optimized.scalars["total"])
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,107 @@
+"""Figure 1 walk-through: contracting the tridiagonal solver's temporary.
+
+The paper opens with a fragment of the SPEC Tomcatv tridiagonal solver: the
+array-language version needs a full array R where the Fortran 77 version
+uses a single scalar ``s``.  This example shows the paper's machinery
+recovering the scalar: the statements of each row iteration fuse into one
+loop nest and R contracts away.
+
+Run:  python examples/tridiagonal.py
+"""
+
+from repro.deps import build_asdg
+from repro.fusion import BASELINE, C2, plan_program
+from repro.interp import run_reference, run_scalarized
+from repro.ir import normalize_source
+from repro.machine import CRAY_T3E, estimate_sequential
+from repro.scalarize import render_c, scalarize
+
+SOURCE = """
+program tridiagonal;
+
+config n : integer = 48;
+config m : integer = 48;
+
+region G = [1..n, 1..m];
+
+var R, D, DD, AA, RX, RY : [G] float;
+var i : integer;
+var check : float;
+
+begin
+  [G] DD := 2.0 + 0.1 * ((Index1 * 3.1 + Index2 * 1.7) % 1.0);
+  [G] AA := 0.0 - 0.9;
+  [G] RX := Index1 * 0.5 + Index2;
+  [G] RY := Index2 * 0.5 - Index1;
+  [1, 1..m] D := 1.0 / DD;
+
+  -- Figure 1: forward elimination over rows
+  for i := 2 to n do
+    [i, 1..m] R  := AA * D@(-1,0);
+    [i, 1..m] D  := 1.0 / (DD - AA@(-1,0) * R);
+    [i, 1..m] RX := RX - RX@(-1,0) * R;
+    [i, 1..m] RY := RY - RY@(-1,0) * R;
+  end;
+
+  check := +<< [G] (RX + RY + D);
+end;
+"""
+
+
+def main() -> None:
+    program = normalize_source(SOURCE)
+
+    print("=== The row block's dependence graph ===")
+    body_block = [b for b in program.blocks() if len(b) >= 4][0]
+    print(build_asdg(body_block).render())
+    print()
+    print(
+        "Note: D is read at row i-1 and written at row i — disjoint index"
+        "\nsets within one iteration, so no intra-block dependence edge;"
+        "\nR's dependences are all null vectors, making it contractible."
+    )
+
+    plan = plan_program(program, C2)
+    print()
+    print("=== Contraction outcome (c2) ===")
+    print("contracted:", sorted(plan.contracted_arrays()))
+    print("surviving :", sorted(plan.live_arrays()))
+
+    print()
+    print("=== Generated inner loop (R is now the scalar R__s) ===")
+    code = render_c(scalarize(program, plan))
+    in_loop = False
+    for line in code.splitlines():
+        if "for (i = 2" in line:
+            in_loop = True
+        if in_loop:
+            print(line)
+        if in_loop and line.strip() == "}" and line.startswith("    }"):
+            break
+
+    print()
+    print("=== Performance on the Cray T3E model ===")
+    for name, level in (("baseline", BASELINE), ("c2", C2)):
+        scalar_program = scalarize(program, plan_program(program, level))
+        cost = estimate_sequential(scalar_program, CRAY_T3E)
+        print(
+            "%-8s  %10.0f cycles   L1 misses %8.0f   arrays %d"
+            % (
+                name,
+                cost.cycles,
+                cost.counts.misses[0],
+                scalar_program.array_count(),
+            )
+        )
+
+    reference = run_reference(program)
+    optimized = run_scalarized(scalarize(program, plan))
+    print()
+    print(
+        "check = %.6f (reference) vs %.6f (optimized)"
+        % (reference.scalars["check"], optimized.scalars["check"])
+    )
+
+
+if __name__ == "__main__":
+    main()

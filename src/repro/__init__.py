@@ -1,0 +1,90 @@
+"""repro — array-level statement fusion and array contraction.
+
+A reproduction of Lewis, Lin & Snyder, "The Implementation and Evaluation
+of Fusion and Contraction in Array Languages" (PLDI 1998).
+
+The high-level pipeline::
+
+    from repro import compile_source, C2
+
+    scalar_program, plan = compile_source(source, level=C2)
+
+See README.md for the full tour; the subpackages are:
+
+``repro.lang``       the mini-ZPL front end
+``repro.ir``         normal-form IR and normalization
+``repro.deps``       UDVs and the array statement dependence graph
+``repro.fusion``     fusion partitions, contraction, optimization levels
+``repro.scalarize``  loop nests, contraction rewriting, C/Python codegen
+``repro.interp``     reference and scalarized interpreters
+``repro.machine``    cache simulation and machine models
+``repro.parallel``   distribution, communication, interaction policies
+``repro.compilers``  commercial-compiler personalities (Figure 6)
+``repro.benchsuite`` the six application benchmarks
+``repro.eval``       experiment harnesses for every table and figure
+"""
+
+from typing import Mapping, Optional, Tuple
+
+from repro.fusion import (
+    ALL_LEVELS,
+    BASELINE,
+    C1,
+    C2,
+    C2F3,
+    C2F4,
+    C2P,
+    F1,
+    F2,
+    F3,
+    LEVELS_BY_NAME,
+    Level,
+    ProgramPlan,
+    plan_program,
+)
+from repro.ir import IRProgram, normalize_source
+from repro.scalarize import ScalarProgram, render_c, render_python, scalarize
+
+__version__ = "1.0.0"
+
+
+def compile_source(
+    source: str,
+    level: Level = C2,
+    config: Optional[Mapping[str, object]] = None,
+    self_temp_policy: str = "always",
+) -> Tuple[ScalarProgram, ProgramPlan]:
+    """Compile mini-ZPL source through the full array-level pipeline.
+
+    Returns the scalarized program (ready for the interpreters, the code
+    generators or the cost models) and the optimization plan (which arrays
+    fused and contracted).
+    """
+    program = normalize_source(source, config, self_temp_policy)
+    plan = plan_program(program, level)
+    return scalarize(program, plan), plan
+
+
+__all__ = [
+    "ALL_LEVELS",
+    "BASELINE",
+    "C1",
+    "C2",
+    "C2F3",
+    "C2F4",
+    "C2P",
+    "F1",
+    "F2",
+    "F3",
+    "IRProgram",
+    "LEVELS_BY_NAME",
+    "Level",
+    "ProgramPlan",
+    "ScalarProgram",
+    "compile_source",
+    "normalize_source",
+    "plan_program",
+    "render_c",
+    "render_python",
+    "scalarize",
+]

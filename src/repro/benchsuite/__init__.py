@@ -1,0 +1,22 @@
+"""The six application benchmarks of the paper's evaluation (Section 5)."""
+
+from repro.benchsuite import ep, fibro, frac, simple, sp, tomcatv
+from repro.benchsuite.registry import (
+    ALL_BENCHMARKS,
+    BENCHMARKS_BY_NAME,
+    Benchmark,
+    get_benchmark,
+)
+
+__all__ = [
+    "ALL_BENCHMARKS",
+    "BENCHMARKS_BY_NAME",
+    "Benchmark",
+    "ep",
+    "fibro",
+    "frac",
+    "get_benchmark",
+    "simple",
+    "sp",
+    "tomcatv",
+]

@@ -1,0 +1,91 @@
+"""Fibro — fibroblast/collagen pattern formation (Dikaiakos et al., in ZPL).
+
+Mathematical-biology simulation of fibroblast cells migrating over and
+remodeling a collagen matrix: cell density advects along the local fiber
+orientation while depositing collagen that reorients toward the mean motion.
+The code is dominated by element-wise updates with small stencils.
+
+Paper-relevant structure (Figure 7): Fibro was developed *in* ZPL (no scalar
+equivalent exists); it has **no compiler temporaries** (49 = 0/49 user
+arrays) and a bit under half its arrays survive contraction (49 -> 27).
+This port preserves those proportions at reduced scale: 18 user arrays, no
+compiler temporaries, 10 survivors.  Like Tomcatv, Fibro is
+cache-performance sensitive: extra fusion without contraction (f2/f3/f4)
+hurts it, and c2+f4 is distinctly worse than c2+f3 (3% vs 16% on the T3E).
+"""
+
+NAME = "Fibro"
+
+SOURCE = """
+program fibro;
+
+config n : integer = 24;
+config m : integer = 24;
+config steps : integer = 3;
+
+region G = [1..n, 1..m];
+region I = [2..n-1, 2..m-1];
+
+-- state carried across time steps: these 10 survive contraction
+var C, CN, FX, FY, FXN, FYN, COL, COLN, VX, VY : [G] float;
+-- per-step element-wise temporaries: these 8 contract
+var GX, GY, SP, AL, DEP, RE, WX, WY : [G] float;
+
+var t : integer;
+var diff, chem, mass : float;
+
+begin
+  diff := 0.08;
+  chem := 0.35;
+  [G] C := ((Index1 * 3.7 + Index2 * 5.3) % 1.0) * 0.5 + 0.25;
+  [G] FX := 0.7;
+  [G] FY := 0.3;
+  [G] COL := 1.0;
+
+  for t := 1 to steps do
+    -- density gradients (small stencil)
+    [I] GX := (C@(0,1) - C@(0,-1)) * 0.5;
+    [I] GY := (C@(1,0) - C@(-1,0)) * 0.5;
+    -- migration speed along fibers, capped
+    [I] SP := min(1.0, FX * GX + FY * GY);
+    -- alignment of motion with the collagen field
+    [I] AL := (FX * GX + FY * GY) / (0.001 + COL);
+    -- new density: diffusion plus advection divergence of the
+    -- PREVIOUS step's velocity field (VX/VY carry across steps)
+    [I] CN := C + diff * (C@(0,1) + C@(0,-1) + C@(1,0) + C@(-1,0) - 4.0 * C)
+              - 0.5 * (VX@(0,1) - VX@(0,-1)) - 0.5 * (VY@(1,0) - VY@(-1,0));
+    -- velocities for the next step
+    [I] VX := chem * SP * FX - diff * GX;
+    [I] VY := chem * SP * FY - diff * GY;
+    -- collagen deposition and reorientation
+    [I] DEP := 0.05 * C * max(0.0, 1.0 - COL);
+    [I] RE := 0.1 * AL;
+    [I] COLN := COL + DEP;
+    [I] WX := FX + RE * GX;
+    [I] WY := FY + RE * GY;
+    [I] FXN := WX / sqrt(WX * WX + WY * WY + 0.0001);
+    [I] FYN := WY / sqrt(WX * WX + WY * WY + 0.0001);
+    -- commit the step
+    [I] C := CN;
+    [I] COL := COLN;
+    [I] FX := FXN;
+    [I] FY := FYN;
+  end;
+  mass := +<< [G] C;
+end;
+"""
+
+DEFAULT_CONFIG = {"n": 64, "m": 64, "steps": 2}
+TEST_CONFIG = {"n": 10, "m": 10, "steps": 2}
+CHECK_SCALARS = ["mass"]
+CHECK_ARRAYS = ["C", "COL", "FX", "FY"]
+
+PAPER = {
+    "static_before": 49,
+    "static_before_compiler": 0,
+    "static_after": 27,
+    "scalar_language_arrays": None,  # Fibro was developed in ZPL
+    "fig8_lb": 49,
+    "fig8_la": 27,
+    "fig8_c_percent": 81.5,
+}

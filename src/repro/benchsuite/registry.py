@@ -1,0 +1,65 @@
+"""The benchmark registry: one entry per application of Section 5.
+
+Each entry bundles the mini-ZPL source, configurations, correctness check
+variables, and the paper's published numbers (Figures 7 and 8) so the
+experiment harnesses can print paper-vs-measured tables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional
+
+from repro.benchsuite import ep, fibro, frac, simple, sp, tomcatv
+from repro.ir import IRProgram, normalize_source
+
+
+class Benchmark:
+    """One application benchmark and its metadata."""
+
+    def __init__(self, module) -> None:
+        self.module = module
+        self.name: str = module.NAME
+        self.source: str = module.SOURCE
+        self.default_config: Dict[str, int] = dict(module.DEFAULT_CONFIG)
+        self.test_config: Dict[str, int] = dict(module.TEST_CONFIG)
+        self.check_scalars: List[str] = list(module.CHECK_SCALARS)
+        self.check_arrays: List[str] = list(getattr(module, "CHECK_ARRAYS", []))
+        self.paper: Dict[str, Optional[float]] = dict(module.PAPER)
+
+    def program(self, config: Optional[Mapping[str, int]] = None) -> IRProgram:
+        """Parse, check and normalize the benchmark at a given size."""
+        overrides = dict(self.default_config)
+        if config:
+            overrides.update(config)
+        return normalize_source(self.source, overrides)
+
+    def test_program(self) -> IRProgram:
+        return normalize_source(self.source, self.test_config)
+
+    def __repr__(self) -> str:
+        return "Benchmark(%s)" % self.name
+
+
+ALL_BENCHMARKS: List[Benchmark] = [
+    Benchmark(ep),
+    Benchmark(frac),
+    Benchmark(tomcatv),
+    Benchmark(sp),
+    Benchmark(simple),
+    Benchmark(fibro),
+]
+
+BENCHMARKS_BY_NAME: Dict[str, Benchmark] = {
+    bench.name: bench for bench in ALL_BENCHMARKS
+}
+
+
+def get_benchmark(name: str) -> Benchmark:
+    """Look up a benchmark by its paper name (EP, Frac, Tomcatv, ...)."""
+    bench = BENCHMARKS_BY_NAME.get(name)
+    if bench is None:
+        raise KeyError(
+            "unknown benchmark %r (have: %s)"
+            % (name, ", ".join(sorted(BENCHMARKS_BY_NAME)))
+        )
+    return bench

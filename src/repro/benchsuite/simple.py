@@ -1,0 +1,107 @@
+"""Simple — Lawrence Livermore hydrodynamics and heat conduction (Section 5).
+
+The SIMPLE code (Crowley et al., UCID-17715) solves Lagrangian
+hydrodynamics plus heat conduction by finite differences: a hydro phase
+(velocity, position, density, artificial viscosity, equation of state) and
+a conduction phase (coefficient construction and relaxation sweeps).
+
+Paper-relevant structure (Figure 7): a large code (85 static arrays, 20
+compiler / 65 user) of which a bit under half survive contraction (32); the
+compiler-generated code matches the scalar version's array count exactly
+(32 vs 32).  This port preserves the phase structure and the contracted /
+surviving balance at reduced scale: physical state carried across time
+steps survives, per-phase work arrays and all compiler temporaries vanish.
+Simple shows the largest favor-communication slowdowns in Section 5.5
+(25.4% on the T3E, 31.8% on the SP-2): its stencil phases leave pipelining
+windows that the merge veto then protects at fusion's expense.
+"""
+
+NAME = "Simple"
+
+SOURCE = """
+program simple;
+
+config n : integer = 24;
+config m : integer = 24;
+config steps : integer = 2;
+
+region G = [1..n, 1..m];
+region I = [2..n-1, 2..m-1];
+
+-- physical state carried across time steps (survives contraction)
+var RHO, E, P, Q, UX, UY, XP, YP, TK, TKN : [G] float;
+-- hydro-phase work arrays (contracted)
+var DVX, DVY, DIV, CS, QN, W1, W2, W3 : [G] float;
+-- EOS and energy work arrays (contracted)
+var PN, EN, DE, W4 : [G] float;
+-- conduction-phase work arrays (contracted)
+var KX, KY, CD, W5 : [G] float;
+
+var t : integer;
+var dt, c0, energy : float;
+
+begin
+  dt := 0.01;
+  c0 := 1.4;
+  [G] RHO := 1.0 + 0.2 * ((Index1 * 3.3 + Index2 * 7.1) % 1.0);
+  [G] E := 2.0;
+  [G] TK := 1.0 + 0.1 * ((Index1 * 5.9 + Index2 * 1.3) % 1.0);
+  [G] UX := 0.0;
+  [G] UY := 0.0;
+  [G] XP := Index1 * 1.0;
+  [G] YP := Index2 * 1.0;
+
+  for t := 1 to steps do
+    -- hydro phase: velocity divergence and artificial viscosity
+    [I] DVX := (UX@(0,1) - UX@(0,-1)) * 0.5;
+    [I] DVY := (UY@(1,0) - UY@(-1,0)) * 0.5;
+    [I] DIV := DVX + DVY;
+    [I] CS := sqrt(c0 * P / (RHO + 0.0001) + 0.5);
+    [I] QN := RHO * (min(0.0, DIV) * min(0.0, DIV) - 0.1 * CS * min(0.0, DIV));
+    [I] Q := QN;
+    -- momentum update from pressure and viscosity gradients
+    [I] W1 := (P@(0,1) - P@(0,-1) + Q@(0,1) - Q@(0,-1)) * 0.5;
+    [I] W2 := (P@(1,0) - P@(-1,0) + Q@(1,0) - Q@(-1,0)) * 0.5;
+    [I] UX := UX - dt * W1 / (RHO + 0.0001);
+    [I] UY := UY - dt * W2 / (RHO + 0.0001);
+    [I] XP := XP + dt * UX;
+    [I] YP := YP + dt * UY;
+    -- density update from the new divergence
+    [I] W3 := (UX@(0,1) - UX@(0,-1) + UY@(1,0) - UY@(-1,0)) * 0.5;
+    [I] RHO := RHO * (1.0 - dt * W3);
+
+    -- equation of state and energy update
+    [I] PN := (c0 - 1.0) * RHO * E;
+    [I] DE := (PN + Q) * W3 / (RHO + 0.0001);
+    [I] EN := E - dt * DE;
+    [I] W4 := max(EN, 0.01);
+    [I] E := W4;
+    [I] P := (c0 - 1.0) * RHO * E;
+
+    -- heat conduction phase: coefficients and one relaxation sweep
+    [I] KX := 0.5 * (TK@(0,1) + TK) * 0.2;
+    [I] KY := 0.5 * (TK@(1,0) + TK) * 0.2;
+    [I] CD := KX + KX@(0,-1) + KY + KY@(-1,0);
+    [I] W5 := KX * TK@(0,1) + KX@(0,-1) * TK@(0,-1)
+              + KY * TK@(1,0) + KY@(-1,0) * TK@(-1,0);
+    [I] TKN := (TK + dt * (W5 + 0.01 * E)) / (1.0 + dt * CD);
+    [I] TK := TKN;
+  end;
+  energy := +<< [G] (E + TK);
+end;
+"""
+
+DEFAULT_CONFIG = {"n": 64, "m": 64, "steps": 2}
+TEST_CONFIG = {"n": 10, "m": 10, "steps": 2}
+CHECK_SCALARS = ["energy"]
+CHECK_ARRAYS = ["RHO", "E", "TK", "UX", "UY"]
+
+PAPER = {
+    "static_before": 85,
+    "static_before_compiler": 20,
+    "static_after": 32,
+    "scalar_language_arrays": 32,
+    "fig8_lb": 40,
+    "fig8_la": 32,
+    "fig8_c_percent": 25.0,
+}

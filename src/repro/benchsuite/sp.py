@@ -1,0 +1,136 @@
+"""SP — the NAS scalar-pentadiagonal application benchmark (Section 5).
+
+SP solves sets of uncoupled scalar pentadiagonal systems of equations along
+each dimension of the grid (representative of implicit CFD codes): a
+right-hand-side phase of element-wise and stencil computations, then a
+forward-elimination / back-substitution sweep per dimension, each sweep
+carrying coefficient rows across the sequential row loop.
+
+Paper-relevant structure: SP is the one benchmark whose compiled code keeps
+*more* arrays than the hand-written scalar version (Figure 7: 56 vs 48),
+because many of its sweep-carried arrays could be contracted to
+lower-dimensional (rank-1 row) buffers but not to scalars, and the paper's
+contraction is all-or-nothing (Section 5.2 calls this "a deficiency in our
+current algorithm").  This port reproduces exactly that: the sweep state
+(D1, D2, C1, C2, RHS per direction) is only row-carried — eligible for the
+partial-contraction extension (:mod:`repro.fusion.partial`) but not for
+scalar contraction.  SP is also the one code where arbitrary fusion (c2+f4)
+helps, by improving spatial locality of independent statements.
+"""
+
+NAME = "SP"
+
+SOURCE = """
+program sp;
+
+config n : integer = 20;
+config m : integer = 20;
+config steps : integer = 2;
+
+region G = [1..n, 1..m];
+region I = [2..n-1, 2..m-1];
+
+-- solution state and forcing
+var U, RHS, FORC : [G] float;
+-- RHS-phase element-wise temporaries (contracted)
+var US, VS, WS, SQ1, SQ2, RHO, QS, T1, T2, T3 : [G] float;
+-- x-sweep pentadiagonal coefficients (row-carried: survive, rank-1 in spirit)
+var AX, BX, CX, DX1, DX2 : [G] float;
+-- y-sweep pentadiagonal coefficients (column-carried: survive)
+var AY, BY, CY, DY1, DY2 : [G] float;
+-- sweep element temporaries (contracted per row/column)
+var E1, E2, E3, E4 : [G] float;
+-- sweep-carried running factors: read one row/column behind their own
+-- definition, so they contract only partially (to row buffers)
+var PX, PY : [G] float;
+
+var t, i, j : integer;
+var dt, resid : float;
+
+begin
+  dt := 0.015;
+  [G] U := 1.0 + 0.1 * ((Index1 * 6.1 + Index2 * 2.9) % 1.0);
+  [G] FORC := 0.01 * ((Index1 * 1.7 + Index2 * 8.3) % 1.0);
+
+  for t := 1 to steps do
+    -- right-hand-side phase: element-wise chains plus stencils
+    [I] US := U * 0.5;
+    [I] VS := U * U;
+    [I] WS := VS * 0.25 + US;
+    [I] SQ1 := US * US + 0.3;
+    [I] SQ2 := WS * WS + 0.1;
+    [I] RHO := 1.0 / (1.0 + VS);
+    [I] QS := SQ1 * RHO + SQ2;
+    [I] T1 := U@(0,1) - 2.0 * U + U@(0,-1);
+    [I] T2 := U@(1,0) - 2.0 * U + U@(-1,0);
+    [I] T3 := QS * (T1 + T2);
+    [I] RHS := FORC + dt * T3 - dt * WS * (U@(0,1) - U@(0,-1)) * 0.5;
+
+    -- x-sweep: pentadiagonal coefficients then forward elimination
+    [I] AX := 0.0 - dt * QS;
+    [I] BX := 1.0 + 2.0 * dt * QS;
+    [I] CX := 0.0 - dt * QS;
+    [2, 2..m-1] DX1 := 1.0 / BX;
+    [2, 2..m-1] DX2 := CX;
+    [3, 2..m-1] DX1 := 1.0 / (BX - AX * DX2@(-1,0) * DX1@(-1,0));
+    [3, 2..m-1] DX2 := CX - AX * DX1@(-1,0);
+    for i := 4 to n-1 do
+      [i, 2..m-1] E1 := AX * DX1@(-1,0);
+      [i, 2..m-1] E2 := AX * DX1@(-2,0) * 0.1;
+      [i, 2..m-1] PX := PX@(-1,0) * 0.5 + E1;
+      [i, 2..m-1] DX1 := 1.0 / (BX - E1 * DX2@(-1,0) - E2 * DX2@(-2,0));
+      [i, 2..m-1] DX2 := CX - E1 - E2;
+      [i, 2..m-1] RHS := RHS - E1 * RHS@(-1,0) - E2 * RHS@(-2,0) - 0.001 * PX;
+    end;
+    for i := n-2 downto 2 do
+      [i, 2..m-1] RHS := (RHS - DX2 * RHS@(1,0)) * DX1;
+    end;
+
+    -- y-sweep: same structure along the second dimension
+    [I] AY := 0.0 - dt * QS * 0.5;
+    [I] BY := 1.0 + dt * QS;
+    [I] CY := 0.0 - dt * QS * 0.5;
+    [2..n-1, 2] DY1 := 1.0 / BY;
+    [2..n-1, 2] DY2 := CY;
+    for j := 3 to m-1 do
+      [2..n-1, j] E3 := AY * DY1@(0,-1);
+      [2..n-1, j] PY := PY@(0,-1) * 0.5 + E3;
+      [2..n-1, j] DY1 := 1.0 / (BY - E3 * DY2@(0,-1));
+      [2..n-1, j] DY2 := CY - E3;
+      [2..n-1, j] E4 := E3 * RHS@(0,-1) + 0.001 * PY;
+      [2..n-1, j] RHS := RHS - E4;
+    end;
+    for j := m-2 downto 2 do
+      [2..n-1, j] RHS := (RHS - DY2 * RHS@(0,1)) * DY1;
+    end;
+
+    -- add the update to the solution
+    [I] U := U + RHS;
+  end;
+  resid := +<< [G] abs(U);
+end;
+"""
+
+DEFAULT_CONFIG = {"n": 64, "m": 64, "steps": 2}
+TEST_CONFIG = {"n": 10, "m": 10, "steps": 1}
+CHECK_SCALARS = ["resid"]
+CHECK_ARRAYS = ["U"]
+
+PAPER = {
+    "static_before": 181,
+    "static_before_compiler": 18,
+    "static_after": 56,
+    "scalar_language_arrays": 48,
+    "fig8_lb": 23,
+    "fig8_la": 17,
+    "fig8_c_percent": 35.3,
+}
+
+#: Arrays that a rank-aware (partial) contraction could reduce to row
+#: buffers — the paper's Section 5.2 deficiency and our ablation target.
+#: (DX*/DY* are additionally read by the back-substitution sweeps and must
+#: stay whole; PX/PY are sweep-local and partially contract.)
+ROW_CARRIED = ["DX1", "DX2", "DY1", "DY2", "PX", "PY"]
+
+#: The sweep-local subset that the c2+p extension reduces to row buffers.
+PARTIALLY_CONTRACTIBLE = ["PX", "PY"]

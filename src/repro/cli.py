@@ -1,0 +1,248 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``compile FILE``
+    Run the array-level pipeline and emit one of: the normalized IR, the
+    per-block dependence graphs, the fusion/contraction plan, generated C,
+    or generated Python.
+
+``run FILE``
+    Compile and execute (generated-Python back end); print final scalars.
+
+``estimate FILE``
+    Compile and estimate execution cost on a machine model, optionally for
+    ``p`` processors with scaled problem sizes.
+
+``figures NAME``
+    Regenerate a paper artifact (fig6, fig7, fig8) on the spot.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional
+
+from repro.deps import build_asdg
+from repro.fusion import LEVELS_BY_NAME, C2P, plan_program
+from repro.interp import run_scalarized
+from repro.ir import normalize_source
+from repro.machine import MACHINES_BY_NAME, estimate_sequential
+from repro.parallel import estimate_parallel
+from repro.scalarize import render_c, render_python, scalarize
+from repro.util.errors import ReproError
+
+_MACHINE_ALIASES = {
+    "t3e": "Cray T3E",
+    "sp2": "IBM SP-2",
+    "paragon": "Intel Paragon",
+}
+
+_ALL_LEVEL_NAMES = sorted(set(LEVELS_BY_NAME) | {C2P.name})
+
+
+def _level(name: str):
+    if name == C2P.name:
+        return C2P
+    level = LEVELS_BY_NAME.get(name)
+    if level is None:
+        raise SystemExit(
+            "unknown level %r (choose from %s)" % (name, ", ".join(_ALL_LEVEL_NAMES))
+        )
+    return level
+
+
+def _parse_config(pairs: Optional[List[str]]) -> Dict[str, int]:
+    config: Dict[str, int] = {}
+    for pair in pairs or []:
+        if "=" not in pair:
+            raise SystemExit("--config expects name=value, got %r" % pair)
+        name, _eq, value = pair.partition("=")
+        try:
+            config[name.strip()] = int(value)
+        except ValueError:
+            config[name.strip()] = float(value)  # type: ignore[assignment]
+    return config
+
+
+def _load(args) -> str:
+    if args.file == "-":
+        return sys.stdin.read()
+    with open(args.file) as handle:
+        return handle.read()
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Array-level fusion and contraction (PLDI 1998 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("file", help="mini-ZPL source file, or - for stdin")
+        p.add_argument("--level", default="c2", help="optimization level "
+                       "(%s)" % ", ".join(_ALL_LEVEL_NAMES))
+        p.add_argument("--config", action="append", metavar="NAME=VALUE",
+                       help="override a config constant (repeatable)")
+        p.add_argument("--self-temp-policy", default="always",
+                       choices=("always", "zero_offset", "reversal"))
+        p.add_argument("--simplify", action="store_true",
+                       help="run constant folding before planning")
+
+    compile_parser = sub.add_parser("compile", help="compile and emit")
+    common(compile_parser)
+    compile_parser.add_argument(
+        "--emit",
+        default="c",
+        choices=("ir", "asdg", "plan", "c", "py"),
+        help="what to print (default: generated C)",
+    )
+
+    run_parser = sub.add_parser("run", help="compile and execute")
+    common(run_parser)
+    run_parser.add_argument(
+        "--backend", default="interp", choices=("interp", "codegen"),
+        help="execute via the loop interpreter or generated Python",
+    )
+
+    estimate_parser = sub.add_parser("estimate", help="estimate cost")
+    common(estimate_parser)
+    estimate_parser.add_argument(
+        "--machine", default="t3e", choices=sorted(_MACHINE_ALIASES),
+    )
+    estimate_parser.add_argument("--p", type=int, default=1,
+                                 help="processor count (scaled problem)")
+
+    figures_parser = sub.add_parser("figures", help="regenerate an artifact")
+    figures_parser.add_argument("name", choices=("fig6", "fig7", "fig8"))
+    return parser
+
+
+def _compile(args):
+    source = _load(args)
+    program = normalize_source(
+        source, _parse_config(args.config), args.self_temp_policy
+    )
+    if args.simplify:
+        from repro.ir import simplify_program
+
+        simplify_program(program)
+    plan = plan_program(program, _level(args.level))
+    return program, plan
+
+
+def cmd_compile(args) -> int:
+    program, plan = _compile(args)
+    if args.emit == "ir":
+        print(program.render())
+        return 0
+    if args.emit == "asdg":
+        for block in program.blocks():
+            print(build_asdg(block).render())
+            print()
+        return 0
+    if args.emit == "plan":
+        for block_plan in plan.block_plans.values():
+            print(block_plan.partition.render())
+            print("contracted:", sorted(block_plan.contracted))
+            if block_plan.partial:
+                print("row buffers:", block_plan.partial)
+            print()
+        print("surviving arrays:", sorted(plan.live_arrays()))
+        return 0
+    scalar_program = scalarize(program, plan)
+    if args.emit == "c":
+        print(render_c(scalar_program), end="")
+    else:
+        print(render_python(scalar_program), end="")
+    return 0
+
+
+def cmd_run(args) -> int:
+    program, plan = _compile(args)
+    scalar_program = scalarize(program, plan)
+    if args.backend == "codegen":
+        from repro.scalarize import execute_python
+
+        _arrays, scalars = execute_python(scalar_program)
+    else:
+        scalars = run_scalarized(scalar_program).scalars
+    for name in sorted(scalars):
+        if name.startswith("_") or name.endswith("__s"):
+            continue
+        value = scalars[name]
+        if isinstance(value, bool):
+            text = str(value)
+        elif float(value) == int(value):
+            text = "%g" % float(value)
+        else:
+            text = repr(float(value))
+        print("%s = %s" % (name, text))
+    return 0
+
+
+def cmd_estimate(args) -> int:
+    program, plan = _compile(args)
+    scalar_program = scalarize(program, plan)
+    machine = MACHINES_BY_NAME[_MACHINE_ALIASES[args.machine]]
+    if args.p > 1:
+        cost = estimate_parallel(scalar_program, machine, args.p)
+    else:
+        cost = estimate_sequential(scalar_program, machine)
+    print("machine        : %s" % machine.name)
+    print("level          : %s" % args.level)
+    print("processors     : %d" % args.p)
+    print("arrays         : %d" % scalar_program.array_count())
+    print("cycles         : %.0f" % cost.cycles)
+    print("compute (us)   : %.1f" % cost.compute_microseconds)
+    print("comm (us)      : %.1f" % cost.comm_microseconds)
+    print("total (us)     : %.1f" % cost.microseconds)
+    counts = cost.counts
+    for index, misses in enumerate(counts.misses):
+        print("L%d misses      : %.0f" % (index + 1, misses))
+    print("loads / stores : %.0f / %.0f" % (counts.loads, counts.stores))
+    return 0
+
+
+def cmd_figures(args) -> int:
+    if args.name == "fig6":
+        from repro.compilers import render_figure6
+
+        print(render_figure6())
+    elif args.name == "fig7":
+        from repro.eval import render_figure7
+
+        print(render_figure7())
+    else:
+        from repro.eval import render_figure8
+
+        print(render_figure8())
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    handler = {
+        "compile": cmd_compile,
+        "run": cmd_run,
+        "estimate": cmd_estimate,
+        "figures": cmd_figures,
+    }[args.command]
+    try:
+        return handler(args)
+    except ReproError as error:
+        print("error: %s" % error, file=sys.stderr)
+        return 1
+    except FileNotFoundError as error:
+        print("error: %s" % error, file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        return 0  # output piped to a closed reader (e.g. | head)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

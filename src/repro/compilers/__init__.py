@@ -1,0 +1,37 @@
+"""Commercial-compiler emulation: Figure 5 fragments, Figure 6 table."""
+
+from repro.compilers.figure6 import (
+    EXPECTED,
+    evaluate_personality,
+    figure6_results,
+    render_figure6,
+)
+from repro.compilers.fragments import FRAGMENTS, Fragment, FragmentOutcome
+from repro.compilers.personalities import (
+    ALL_PERSONALITIES,
+    APR_XHPF,
+    CRAY_F90,
+    CompilerPersonality,
+    IBM_XLHPF,
+    PGI_HPF,
+    ZPL_113,
+    no_carried_anti_filter,
+)
+
+__all__ = [
+    "ALL_PERSONALITIES",
+    "APR_XHPF",
+    "CRAY_F90",
+    "CompilerPersonality",
+    "EXPECTED",
+    "FRAGMENTS",
+    "Fragment",
+    "FragmentOutcome",
+    "IBM_XLHPF",
+    "PGI_HPF",
+    "ZPL_113",
+    "evaluate_personality",
+    "figure6_results",
+    "no_carried_anti_filter",
+    "render_figure6",
+]

@@ -1,0 +1,63 @@
+"""Figure 6: observed behaviour of five array-language compilers.
+
+Runs every personality over every Figure 5 fragment and renders the
+check-mark table.  The expected pattern (reconstructed from the paper's
+running text — the printed table is OCR-damaged; see DESIGN.md) is::
+
+    PGI HPF 2.1      -  -  -  Y  -  -  -  -
+    IBM XLHPF 1.2    -  -  -  Y  Y  -  -  -
+    APR XHPF 2.0     Y  Y  -  Y  -  -  -  -
+    Cray F90 2.0.1.0 Y  Y  -  Y  Y  Y  -  -
+    ZPL 1.13         Y  Y  Y  Y  Y  Y  Y  Y
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.compilers.fragments import FRAGMENTS
+from repro.compilers.personalities import ALL_PERSONALITIES, CompilerPersonality
+from repro.util.tables import render_table
+
+#: The pattern the paper's running text documents, used by tests and the
+#: EXPERIMENTS.md comparison.
+EXPECTED: Dict[str, Tuple[bool, ...]] = {
+    "PGI HPF 2.1": (False, False, False, True, False, False, False, False),
+    "IBM XLHPF 1.2": (False, False, False, True, True, False, False, False),
+    "APR XHPF 2.0": (True, True, False, True, False, False, False, False),
+    "Cray F90 2.0.1.0": (True, True, False, True, True, True, False, False),
+    "ZPL 1.13": (True, True, True, True, True, True, True, True),
+}
+
+
+def evaluate_personality(personality: CompilerPersonality) -> Tuple[bool, ...]:
+    """The personality's pass/fail vector over the eight fragments."""
+    return tuple(
+        personality.passes_fragment(fragment) for fragment in FRAGMENTS
+    )
+
+
+def figure6_results() -> Dict[str, Tuple[bool, ...]]:
+    """All personalities' results, keyed by compiler label."""
+    return {
+        personality.label: evaluate_personality(personality)
+        for personality in ALL_PERSONALITIES
+    }
+
+
+def render_figure6() -> str:
+    """Render the Figure 6 table (measured vs the paper's pattern)."""
+    results = figure6_results()
+    headers = ["compiler"] + ["(%d)" % f.number for f in FRAGMENTS] + ["matches paper"]
+    rows: List[List[object]] = []
+    for label, outcome in results.items():
+        expected = EXPECTED.get(label)
+        row: List[object] = [label]
+        row.extend("Y" if ok else "-" for ok in outcome)
+        row.append("yes" if expected == outcome else "NO")
+        rows.append(row)
+    return render_table(
+        headers,
+        rows,
+        title="Figure 6: statement fusion / array contraction by compiler",
+    )

@@ -1,0 +1,208 @@
+"""The Figure 5 code-fragment battery.
+
+Eight fragments exercise a compiler's statement-fusion and array-contraction
+behaviour (Section 5.1).  In all of them, arrays B, T1 and T2 (and the
+fractions' other temporaries) are not live beyond the fragment; each
+fragment's ``success`` predicate encodes the "proper fused/contracted code"
+of Figure 6's caption:
+
+1-3  statement fusion for temporal locality, with increasingly constraining
+     dependences ((3) requires fusing through a loop-carried
+     anti-dependence, i.e. loop reversal);
+4-5  elimination of the compiler temporary for a self-update ((5) again
+     needs reversal);
+6-7  contraction of the user temporary B ((7) again needs reversal);
+8    the weighing tradeoff: two user temporaries versus one compiler
+     temporary.
+
+Fragment (8) note: the fragment as printed in the paper is OCR-damaged and,
+read literally, is not expressible as a contraction tradeoff under
+Definitions 5/6 (a user temporary consumed at a non-zero offset is never
+contractible).  We substitute a four-statement fragment that produces
+*exactly* the documented compiler behaviours: the ZPL algorithm contracts
+the two user temporaries and sacrifices the compiler temporary; a
+compiler-temporaries-first strategy (Cray) contracts the compiler temporary
+and loses both user temporaries.  See DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Set
+
+_HEADER = """
+program fragment;
+config n : integer = 16;
+config m : integer = 16;
+region R = [1..n, 1..m];
+var A, B, C, D, T1, T2 : [R] float;
+var barrier : float;
+begin
+  [R] A := Index1 * 1.5 + Index2;
+  [R] C := Index2 * 2.0;
+  [R] D := Index1 * 0.5;
+  -- a scalar statement separates initialization from the probe block
+  -- (B, T1 and T2 are defined only by the probes: dead afterwards)
+  barrier := 1.0;
+"""
+
+_FOOTER = """
+end;
+"""
+
+
+class Fragment:
+    """One probe fragment with its success criterion."""
+
+    def __init__(
+        self,
+        number: int,
+        title: str,
+        body: str,
+        success: Callable[["FragmentOutcome"], bool],
+        criterion: str,
+    ) -> None:
+        self.number = number
+        self.title = title
+        self.body = body
+        self.success = success
+        self.criterion = criterion
+
+    @property
+    def source(self) -> str:
+        return _HEADER + self.body + _FOOTER
+
+    def __repr__(self) -> str:
+        return "Fragment(%d: %s)" % (self.number, self.title)
+
+
+class FragmentOutcome:
+    """What a compiler personality did with a fragment.
+
+    ``probe_clusters`` is the number of loop nests the probe statements
+    compiled into; ``contracted`` the arrays eliminated; ``compiler_temps``
+    the number of compiler temporaries the personality inserted for the
+    probe statements.
+    """
+
+    def __init__(
+        self,
+        probe_clusters: int,
+        contracted: Set[str],
+        compiler_temps: int,
+        compiler_temps_contracted: int,
+    ) -> None:
+        self.probe_clusters = probe_clusters
+        self.contracted = contracted
+        self.compiler_temps = compiler_temps
+        self.compiler_temps_contracted = compiler_temps_contracted
+
+    def __repr__(self) -> str:
+        return (
+            "FragmentOutcome(clusters=%d, contracted=%s, temps=%d/%d)"
+            % (
+                self.probe_clusters,
+                sorted(self.contracted),
+                self.compiler_temps_contracted,
+                self.compiler_temps,
+            )
+        )
+
+
+def _fused(outcome: FragmentOutcome) -> bool:
+    return outcome.probe_clusters == 1
+
+
+def _no_surviving_compiler_temp(outcome: FragmentOutcome) -> bool:
+    return outcome.compiler_temps == outcome.compiler_temps_contracted
+
+
+def _b_contracted(outcome: FragmentOutcome) -> bool:
+    return "B" in outcome.contracted
+
+
+def _tradeoff(outcome: FragmentOutcome) -> bool:
+    return "T1" in outcome.contracted and "T2" in outcome.contracted
+
+
+FRAGMENTS: List[Fragment] = [
+    Fragment(
+        1,
+        "fusion, independent statements",
+        """
+  [R] B := A + A;
+  [R] C := A * A;
+""",
+        _fused,
+        "both statements compile to a single loop nest",
+    ),
+    Fragment(
+        2,
+        "fusion, input dependence only",
+        """
+  [R] B := A@(-1,0) + A@(-1,0);
+  [R] C := A * A;
+""",
+        _fused,
+        "both statements compile to a single loop nest",
+    ),
+    Fragment(
+        3,
+        "fusion through a loop-carried anti-dependence",
+        """
+  [R] B := A@(-1,0) + C@(-1,0);
+  [R] C := A * A;
+""",
+        _fused,
+        "single loop nest (requires reversal of the first dimension)",
+    ),
+    Fragment(
+        4,
+        "compiler temporary, element-wise self-update",
+        """
+  [R] A := A + A;
+""",
+        _no_surviving_compiler_temp,
+        "no compiler temporary survives (avoided or contracted)",
+    ),
+    Fragment(
+        5,
+        "compiler temporary, offset self-update",
+        """
+  [R] A := A@(-1,0) + A@(-1,0);
+""",
+        _no_surviving_compiler_temp,
+        "no compiler temporary survives (requires reversal)",
+    ),
+    Fragment(
+        6,
+        "user temporary contraction",
+        """
+  [R] B := A + A;
+  [R] C := B;
+""",
+        _b_contracted,
+        "B is contracted to a scalar",
+    ),
+    Fragment(
+        7,
+        "user temporary contraction through an anti-dependence",
+        """
+  [R] B := A + A + C@(-1,0);
+  [R] C := B;
+""",
+        _b_contracted,
+        "B is contracted (fused loop carries an anti-dependence)",
+    ),
+    Fragment(
+        8,
+        "contraction tradeoff: two user temps vs one compiler temp",
+        """
+  [R] T1 := A@(-1,0);
+  [R] T2 := A@(-1,0) * B;
+  [R] A := T1 + T2;
+  [R] D := D@(1,0) + T1 + T2;
+""",
+        _tradeoff,
+        "both user temporaries contracted (compiler temp sacrificed)",
+    ),
+]

@@ -1,0 +1,6 @@
+"""Array-level dependence analysis: UDVs and the ASDG."""
+
+from repro.deps.analysis import build_asdg, regions_may_overlap
+from repro.deps.asdg import ASDG, DepLabel, DepType
+
+__all__ = ["ASDG", "DepLabel", "DepType", "build_asdg", "regions_may_overlap"]

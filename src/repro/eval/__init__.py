@@ -1,0 +1,56 @@
+"""Experiment harnesses: one module per paper table/figure."""
+
+from repro.eval.comm_interaction import (
+    DEFAULT_P,
+    PAPER_SLOWDOWNS,
+    interaction_sweep,
+    policy_slowdown,
+    render_interaction,
+)
+from repro.eval.memory import (
+    DEFAULT_BUDGET_BYTES,
+    MemoryRow,
+    allocated_bytes,
+    figure8_rows,
+    max_problem_size,
+    render_figure8,
+)
+from repro.eval.report import PROFILES, generate_report
+from repro.eval.runtime import (
+    FIGURE_LEVELS,
+    PROCESSOR_COUNTS,
+    RuntimeResult,
+    measure_benchmark,
+    render_runtime_figure,
+    runtime_sweep,
+)
+from repro.eval.static_arrays import (
+    StaticArrayRow,
+    figure7_rows,
+    render_figure7,
+)
+
+__all__ = [
+    "DEFAULT_BUDGET_BYTES",
+    "DEFAULT_P",
+    "FIGURE_LEVELS",
+    "MemoryRow",
+    "PROFILES",
+    "PAPER_SLOWDOWNS",
+    "PROCESSOR_COUNTS",
+    "RuntimeResult",
+    "StaticArrayRow",
+    "allocated_bytes",
+    "figure7_rows",
+    "figure8_rows",
+    "generate_report",
+    "interaction_sweep",
+    "max_problem_size",
+    "measure_benchmark",
+    "policy_slowdown",
+    "render_figure7",
+    "render_figure8",
+    "render_interaction",
+    "render_runtime_figure",
+    "runtime_sweep",
+]

@@ -1,0 +1,100 @@
+"""Section 5.5: interaction with communication optimization.
+
+Compares the ``c2+f3`` strategy under the two interaction policies:
+
+* **favor fusion** (the paper's default) — fusion unrestricted;
+* **favor communication** — fusion merges vetoed when they would collapse a
+  pipelining window (see :mod:`repro.parallel.interaction`).
+
+The paper reports the *slowdown* of favoring communication: large for the
+stencil applications (Simple, Tomcatv, SP), marginal for Fibro, zero for EP
+and Frac (no communication to favor).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.benchsuite.registry import ALL_BENCHMARKS, Benchmark
+from repro.fusion.pipeline import C2F3
+from repro.machine.models import ALL_MACHINES, MachineModel
+from repro.parallel.commcost import estimate_parallel
+from repro.parallel.interaction import (
+    FAVOR_COMM,
+    FAVOR_FUSION,
+    plan_program_with_policy,
+)
+from repro.scalarize.scalarizer import scalarize
+from repro.util.tables import render_table
+
+#: Processor count for the policy comparison (the paper does not pin one;
+#: any p with both grid dimensions cut shows the effect).
+DEFAULT_P = 16
+
+#: Slowdowns reported in Section 5.5, per machine, percent.
+PAPER_SLOWDOWNS: Dict[str, Dict[str, float]] = {
+    "Cray T3E": {"Simple": 25.4, "Tomcatv": 22.7, "SP": 9.6, "Fibro": 5.1},
+    "IBM SP-2": {"Simple": 31.8, "Tomcatv": 66.5, "SP": 10.5, "Fibro": -10.6},
+    "Intel Paragon": {"Simple": 7.5, "Tomcatv": 8.5, "SP": 5.0, "Fibro": 0.9},
+}
+
+
+def policy_slowdown(
+    bench: Benchmark,
+    machine: MachineModel,
+    p: int = DEFAULT_P,
+    config: Optional[Mapping[str, int]] = None,
+    sample_iterations: int = 2,
+) -> float:
+    """Percent slowdown of favor-comm relative to favor-fusion (c2+f3)."""
+    program = bench.program(config)
+    times = {}
+    for policy in (FAVOR_FUSION, FAVOR_COMM):
+        plan = plan_program_with_policy(program, C2F3, policy, p)
+        scalar_program = scalarize(program, plan)
+        cost = estimate_parallel(
+            scalar_program, machine, p, sample_iterations=sample_iterations
+        )
+        times[policy] = cost.microseconds
+    return 100.0 * (times[FAVOR_COMM] - times[FAVOR_FUSION]) / times[FAVOR_FUSION]
+
+
+def interaction_sweep(
+    machine: MachineModel,
+    benchmarks: Optional[Sequence[Benchmark]] = None,
+    p: int = DEFAULT_P,
+    config: Optional[Mapping[str, int]] = None,
+    sample_iterations: int = 2,
+) -> Dict[str, float]:
+    """Slowdowns for every benchmark on one machine."""
+    return {
+        bench.name: policy_slowdown(bench, machine, p, config, sample_iterations)
+        for bench in (benchmarks or ALL_BENCHMARKS)
+    }
+
+
+def render_interaction(
+    results_by_machine: Mapping[str, Mapping[str, float]]
+) -> str:
+    """Render the Section 5.5 comparison (measured vs paper)."""
+    machines = list(results_by_machine)
+    benchmarks = sorted(
+        {name for results in results_by_machine.values() for name in results}
+    )
+    headers = ["application"]
+    for machine in machines:
+        headers.append("%s" % machine)
+        headers.append("paper")
+    rows: List[List[object]] = []
+    for name in benchmarks:
+        row: List[object] = [name]
+        for machine in machines:
+            row.append(results_by_machine[machine].get(name))
+            row.append(PAPER_SLOWDOWNS.get(machine, {}).get(name))
+        rows.append(row)
+    return render_table(
+        headers,
+        rows,
+        title="Section 5.5: slowdown (%) when favoring communication "
+        "optimizations over fusion (c2+f3)",
+    )

@@ -1,0 +1,153 @@
+"""Figure 8: effect of contraction on the maximum achievable problem size.
+
+Section 5.3's model: with all arrays the same size and a fixed memory
+budget, the maximum problem size is inversely proportional to the number of
+simultaneously live arrays ``l``; contraction scales the achievable problem
+*volume* by ``l_b / l_a``, i.e. a percent change of
+``C(l_b, l_a) = 100 * (l_b/l_a - 1)``.
+
+The experimental side reproduces the paper's methodology: find, by search,
+the largest problem size whose total array allocation fits a fixed byte
+budget (the paper used the OS process-size limit of single T3E/SP-2 nodes;
+we use a configurable budget), with and without contraction, and compare
+the measured volume change against the analytic ``C``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.benchsuite.registry import ALL_BENCHMARKS, Benchmark
+from repro.fusion.pipeline import BASELINE, C2, Level, plan_program
+from repro.ir.program import IRProgram
+from repro.util.tables import render_table
+
+_ELEM_BYTES = 8
+
+#: Default budget: large enough for interesting sizes, small enough that
+#: the search stays fast.  (The paper's machines allowed 256 MB/node.)
+DEFAULT_BUDGET_BYTES = 8 * 1024 * 1024
+
+
+def allocated_bytes(program: IRProgram, live_arrays: List[str]) -> int:
+    """Total bytes of the arrays that survive contraction."""
+    total = 0
+    for name in live_arrays:
+        region = program.allocation_region(name)
+        total += region.static_size({}) * _ELEM_BYTES
+    return total
+
+
+def bytes_at_size(bench: Benchmark, size: int, level: Level) -> int:
+    """Array bytes of the benchmark compiled at ``n = m = size``."""
+    program = bench.program({"n": size, "m": size})
+    plan = plan_program(program, level)
+    return allocated_bytes(program, plan.live_arrays())
+
+
+def max_problem_size(
+    bench: Benchmark,
+    level: Level,
+    budget_bytes: int = DEFAULT_BUDGET_BYTES,
+    size_cap: int = 65536,
+) -> int:
+    """Largest ``n = m`` whose allocation fits the budget (binary search).
+
+    Returns ``size_cap`` when the program's memory use is independent of
+    problem size (EP after contraction: every array eliminated).
+    """
+    if bytes_at_size(bench, size_cap, level) <= budget_bytes:
+        return size_cap
+    lo, hi = 4, size_cap
+    while lo < hi:
+        mid = (lo + hi + 1) // 2
+        if bytes_at_size(bench, mid, level) <= budget_bytes:
+            lo = mid
+        else:
+            hi = mid - 1
+    return lo
+
+
+class MemoryRow:
+    """One benchmark's Figure 8 measurements."""
+
+    def __init__(
+        self, bench: Benchmark, budget_bytes: int = DEFAULT_BUDGET_BYTES
+    ) -> None:
+        program = bench.program()
+        plan = plan_program(program, C2)
+        self.name = bench.name
+        self.lb = len(program.arrays)
+        self.la = len(plan.live_arrays())
+        self.c_percent: Optional[float] = (
+            100.0 * (self.lb / self.la - 1.0) if self.la else None
+        )
+        self.size_before = max_problem_size(bench, BASELINE, budget_bytes)
+        self.size_after = max_problem_size(bench, C2, budget_bytes)
+        self.unbounded = self.la == 0
+        self.paper_lb = bench.paper["fig8_lb"]
+        self.paper_la = bench.paper["fig8_la"]
+        self.paper_c = bench.paper["fig8_c_percent"]
+
+    @property
+    def dim_change_percent(self) -> Optional[float]:
+        if self.unbounded:
+            return None
+        return 100.0 * (self.size_after - self.size_before) / self.size_before
+
+    @property
+    def volume_change_percent(self) -> Optional[float]:
+        if self.unbounded:
+            return None
+        before = self.size_before ** 2
+        after = self.size_after ** 2
+        return 100.0 * (after - before) / before
+
+
+def figure8_rows(
+    benchmarks: Optional[List[Benchmark]] = None,
+    budget_bytes: int = DEFAULT_BUDGET_BYTES,
+) -> List[MemoryRow]:
+    return [
+        MemoryRow(bench, budget_bytes) for bench in benchmarks or ALL_BENCHMARKS
+    ]
+
+
+def render_figure8(rows: Optional[List[MemoryRow]] = None) -> str:
+    rows = rows or figure8_rows()
+    headers = [
+        "application",
+        "l_b",
+        "l_a",
+        "C (%)",
+        "max size w/o",
+        "max size w/",
+        "% change dim (vol)",
+        "paper C (%)",
+    ]
+    body: List[List[object]] = []
+    for row in rows:
+        if row.unbounded:
+            change = "unbounded"
+        else:
+            change = "%.1f (%.1f)" % (
+                row.dim_change_percent,
+                row.volume_change_percent,
+            )
+        body.append(
+            [
+                row.name,
+                row.lb,
+                row.la,
+                row.c_percent,
+                row.size_before,
+                "unbounded" if row.unbounded else row.size_after,
+                change,
+                row.paper_c,
+            ]
+        )
+    return render_table(
+        headers,
+        body,
+        title="Figure 8: contraction and maximum problem size",
+    )

@@ -1,0 +1,88 @@
+"""One-shot reproduction report: every paper artifact in a single document.
+
+``generate_report()`` regenerates Figure 6 (compiler behaviour), Figure 7
+(static arrays), Figure 8 (problem-size scaling), a runtime panel per
+machine (Figures 9-11) and the Section 5.5 interaction study, and stitches
+them into one text report.  The ``fast`` profile shrinks problem sizes and
+processor counts so the whole report builds in tens of seconds; the
+``full`` profile matches the benchmark harnesses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.compilers import render_figure6
+from repro.eval.comm_interaction import interaction_sweep, render_interaction
+from repro.eval.memory import figure8_rows, render_figure8
+from repro.eval.runtime import render_runtime_figure, runtime_sweep
+from repro.eval.static_arrays import figure7_rows, render_figure7
+from repro.machine import ALL_MACHINES
+
+PROFILES: Dict[str, Dict[str, object]] = {
+    "fast": {
+        "runtime_config": {"n": 32, "m": 32},
+        "processor_counts": (1, 16),
+        "sample_iterations": 1,
+        "budget_bytes": 2 * 1024 * 1024,
+        "machines": ALL_MACHINES[:1],
+        "interaction_p": 16,
+    },
+    "full": {
+        "runtime_config": None,
+        "processor_counts": (1, 4, 16, 64),
+        "sample_iterations": 2,
+        "budget_bytes": 4 * 1024 * 1024,
+        "machines": ALL_MACHINES,
+        "interaction_p": 16,
+    },
+}
+
+
+def generate_report(profile: str = "fast") -> str:
+    """Build the consolidated reproduction report."""
+    if profile not in PROFILES:
+        raise ValueError(
+            "unknown profile %r (have: %s)" % (profile, ", ".join(PROFILES))
+        )
+    settings = PROFILES[profile]
+    sections: List[str] = [
+        "REPRODUCTION REPORT",
+        "Lewis, Lin & Snyder: The Implementation and Evaluation of Fusion",
+        "and Contraction in Array Languages (PLDI 1998)",
+        "profile: %s" % profile,
+        "",
+    ]
+
+    sections.append(render_figure6())
+    sections.append("")
+    sections.append(render_figure7(figure7_rows()))
+    sections.append("")
+    sections.append(
+        render_figure8(figure8_rows(budget_bytes=settings["budget_bytes"]))
+    )
+    sections.append("")
+
+    interaction_results = {}
+    for machine in settings["machines"]:
+        results = runtime_sweep(
+            machine,
+            processor_counts=settings["processor_counts"],
+            config=settings["runtime_config"],
+            sample_iterations=settings["sample_iterations"],
+        )
+        sections.append(
+            render_runtime_figure(
+                machine, results, processor_counts=settings["processor_counts"]
+            )
+        )
+        sections.append("")
+        interaction_results[machine.name] = interaction_sweep(
+            machine,
+            p=settings["interaction_p"],
+            config=settings["runtime_config"],
+            sample_iterations=settings["sample_iterations"],
+        )
+
+    sections.append(render_interaction(interaction_results))
+    return "\n".join(sections)

@@ -1,0 +1,120 @@
+"""Figures 9-11: runtime improvement of each strategy over baseline.
+
+For one machine model, every benchmark is compiled under every optimization
+level, its per-node time estimated on ``p`` processors with scaled problem
+sizes (local data constant, so one local-size compilation serves every
+``p``), and the percent improvement over the same-``p`` baseline reported —
+the bars of Figures 9 (Cray T3E), 10 (IBM SP-2) and 11 (Intel Paragon).
+Negative numbers are slowdowns, as in the paper's figures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.benchsuite.registry import ALL_BENCHMARKS, Benchmark
+from repro.fusion.pipeline import (
+    ALL_LEVELS,
+    BASELINE,
+    C1,
+    C2,
+    C2F3,
+    C2F4,
+    F1,
+    F2,
+    F3,
+    Level,
+)
+from repro.machine.models import MachineModel
+from repro.parallel.commcost import estimate_parallel
+from repro.parallel.interaction import FAVOR_FUSION, plan_program_with_policy
+from repro.scalarize.scalarizer import scalarize
+from repro.util.tables import improvement_over, render_table
+
+#: The strategy bars of Figures 9-11 (baseline is the reference).
+FIGURE_LEVELS: List[Level] = [F1, C1, F2, F3, C2, C2F3, C2F4]
+
+#: The processor counts of the paper's x axes.
+PROCESSOR_COUNTS: Tuple[int, ...] = (1, 4, 16, 64)
+
+
+class RuntimeResult:
+    """All measurements of one benchmark on one machine."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        #: (level name, p) -> per-node microseconds
+        self.times: Dict[Tuple[str, int], float] = {}
+
+    def improvement(self, level_name: str, p: int) -> float:
+        base = self.times[(BASELINE.name, p)]
+        time = self.times[(level_name, p)]
+        return improvement_over(base, time)
+
+
+def measure_benchmark(
+    bench: Benchmark,
+    machine: MachineModel,
+    processor_counts: Sequence[int] = PROCESSOR_COUNTS,
+    levels: Optional[Sequence[Level]] = None,
+    config: Optional[Mapping[str, int]] = None,
+    sample_iterations: int = 2,
+) -> RuntimeResult:
+    """Estimate per-node times for every level and processor count."""
+    levels = list(levels) if levels is not None else [BASELINE] + FIGURE_LEVELS
+    program = bench.program(config)
+    result = RuntimeResult(bench.name)
+    for level in levels:
+        for p in processor_counts:
+            plan = plan_program_with_policy(program, level, FAVOR_FUSION, p)
+            scalar_program = scalarize(program, plan)
+            cost = estimate_parallel(
+                scalar_program,
+                machine,
+                p,
+                sample_iterations=sample_iterations,
+            )
+            result.times[(level.name, p)] = cost.microseconds
+    return result
+
+
+def runtime_sweep(
+    machine: MachineModel,
+    benchmarks: Optional[Sequence[Benchmark]] = None,
+    processor_counts: Sequence[int] = PROCESSOR_COUNTS,
+    config: Optional[Mapping[str, int]] = None,
+    sample_iterations: int = 2,
+) -> Dict[str, RuntimeResult]:
+    """Measure every benchmark on one machine (one Figure 9/10/11 panel set)."""
+    results: Dict[str, RuntimeResult] = {}
+    for bench in benchmarks or ALL_BENCHMARKS:
+        results[bench.name] = measure_benchmark(
+            bench,
+            machine,
+            processor_counts,
+            config=config,
+            sample_iterations=sample_iterations,
+        )
+    return results
+
+
+def render_runtime_figure(
+    machine: MachineModel,
+    results: Mapping[str, RuntimeResult],
+    processor_counts: Sequence[int] = PROCESSOR_COUNTS,
+) -> str:
+    """Render one figure: per benchmark, % improvement by level and p."""
+    sections: List[str] = [
+        "Benchmark performance on %s (%% improvement over baseline)"
+        % machine.name
+    ]
+    for name, result in results.items():
+        headers = ["level"] + ["p=%d" % p for p in processor_counts]
+        rows: List[List[object]] = []
+        for level in FIGURE_LEVELS:
+            row: List[object] = [level.name]
+            for p in processor_counts:
+                row.append(result.improvement(level.name, p))
+            rows.append(row)
+        sections.append(render_table(headers, rows, title=name))
+    return "\n\n".join(sections)

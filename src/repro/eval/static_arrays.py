@@ -1,0 +1,91 @@
+"""Figure 7: static arrays contracted, per benchmark.
+
+For each application: the number of static arrays in the compiled code
+without contraction (split compiler/user), with contraction (``c2``), the
+percent change, and the array count of the equivalent hand-written
+scalar-language program (the paper's published number; Fibro has none).
+
+The ports are reduced-scale (the paper's SP has 181 static arrays; ours
+keeps the same *structure* at kernel scale), so the harness prints measured
+and published values side by side.  The qualitative claims under test:
+every compiler temporary is eliminated; EP loses all arrays; SP is the one
+code that keeps more arrays than its scalar equivalent.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.benchsuite.registry import ALL_BENCHMARKS, Benchmark
+from repro.fusion.pipeline import C2, plan_program
+from repro.util.tables import render_table
+
+
+class StaticArrayRow:
+    """One benchmark's Figure 7 measurements."""
+
+    def __init__(self, bench: Benchmark) -> None:
+        program = bench.program()
+        plan = plan_program(program, C2)
+        self.name = bench.name
+        self.compiler_before = len(program.compiler_arrays())
+        self.user_before = len(program.user_arrays())
+        self.before = self.compiler_before + self.user_before
+        self.after = len(plan.live_arrays())
+        contracted = plan.contracted_arrays()
+        self.compiler_contracted = sum(
+            1 for name in contracted if program.arrays[name].is_temp
+        )
+        self.surviving = sorted(plan.live_arrays())
+        self.paper_before = bench.paper["static_before"]
+        self.paper_before_compiler = bench.paper["static_before_compiler"]
+        self.paper_after = bench.paper["static_after"]
+        self.scalar_language = bench.paper["scalar_language_arrays"]
+
+    @property
+    def percent_change(self) -> float:
+        return 100.0 * (self.after - self.before) / self.before
+
+    @property
+    def all_compiler_temps_eliminated(self) -> bool:
+        return self.compiler_contracted == self.compiler_before
+
+
+def figure7_rows(
+    benchmarks: Optional[List[Benchmark]] = None,
+) -> List[StaticArrayRow]:
+    return [StaticArrayRow(bench) for bench in benchmarks or ALL_BENCHMARKS]
+
+
+def render_figure7(rows: Optional[List[StaticArrayRow]] = None) -> str:
+    rows = rows or figure7_rows()
+    headers = [
+        "application",
+        "w/o contr (comp/user)",
+        "w/ contr",
+        "% change",
+        "scalar lang (paper)",
+        "paper w/o",
+        "paper w/",
+    ]
+    table_rows: List[List[object]] = []
+    for row in rows:
+        table_rows.append(
+            [
+                row.name,
+                "%d (%d/%d)" % (row.before, row.compiler_before, row.user_before),
+                row.after,
+                row.percent_change,
+                row.scalar_language,
+                "%d (%d/%d)"
+                % (
+                    row.paper_before,
+                    row.paper_before_compiler,
+                    row.paper_before - row.paper_before_compiler,
+                ),
+                row.paper_after,
+            ]
+        )
+    return render_table(
+        headers, table_rows, title="Figure 7: static arrays contracted"
+    )

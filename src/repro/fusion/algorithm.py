@@ -1,0 +1,161 @@
+"""The fusion algorithms: FUSION-FOR-CONTRACTION (Figure 3) and variants.
+
+``fusion_for_contraction`` is the paper's greedy algorithm: consider arrays
+in decreasing reference-weight order; for each, gather the clusters holding
+its references, close them under GROW (no inter-cluster cycles), and merge if
+the array is contractible (Definition 6) and the merge leaves a valid fusion
+partition (Definition 5).
+
+``fusion_for_locality`` is the identical algorithm with the CONTRACTIBLE?
+test removed (Section 4.1): it fuses all statements referencing the array
+with the greatest single locality benefit, exploiting inter-statement reuse.
+
+``fuse_all_legal`` is the greedy pair-wise algorithm behind the ``c2+f4``
+strategy: keep merging any legally fusible cluster pair until fixpoint.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Callable, List, Mapping, Optional, Sequence, Set
+
+from repro.fusion.contract import is_contractible
+from repro.fusion.grow import grown
+from repro.fusion.partition import FusionPartition
+from repro.fusion.weights import weights_by_decreasing
+
+MergeFilter = Callable[[Set[int], FusionPartition], bool]
+
+
+def fusion_for_contraction(
+    partition: FusionPartition,
+    candidates: Sequence[str],
+    config_env: Mapping[str, int],
+    merge_filter: Optional[MergeFilter] = None,
+) -> List[str]:
+    """Fuse to enable contraction; returns arrays whose contraction is enabled.
+
+    Mutates ``partition`` in place.  ``candidates`` are the arrays eligible
+    for contraction (already filtered for liveness); ``merge_filter`` lets a
+    caller veto merges (used by the communication-favoring policy of
+    Section 5.5).
+    """
+    contracted: List[str] = []
+    for variable in weights_by_decreasing(
+        list(candidates), partition.graph, config_env
+    ):
+        clusters = partition.clusters_referencing(variable)
+        if not clusters:
+            continue
+        clusters = grown(clusters, partition)
+        if not is_contractible(variable, clusters, partition):
+            continue
+        if not partition.merge_is_fusion_partition(clusters):
+            continue
+        if merge_filter is not None and not merge_filter(clusters, partition):
+            continue
+        if len(clusters) > 1:
+            partition.merge(clusters)
+        contracted.append(variable)
+    return contracted
+
+
+def fusion_for_contraction_ranges(
+    partition: FusionPartition,
+    candidates,
+    config_env: Mapping[str, int],
+    merge_filter: Optional[MergeFilter] = None,
+):
+    """Figure 3 over live-range candidates (the footnote's refinement).
+
+    Identical greedy structure to :func:`fusion_for_contraction`, but each
+    candidate is one :class:`~repro.fusion.contract.RangeCandidate`: the
+    clusters to fuse are those holding the *range's* statements, and
+    CONTRACTIBLE? is checked per range.  Returns the contracted ranges.
+    """
+    from repro.fusion.contract import range_is_contractible
+    from repro.fusion.weights import reference_weight
+
+    def weight(candidate) -> int:
+        total = 0
+        for stmt in candidate.statements:
+            refs = 1 if stmt.target == candidate.array else 0
+            refs += sum(
+                1 for ref in stmt.reads() if ref.name == candidate.array
+            )
+            total += refs * stmt.region.static_size(config_env)
+        return total
+
+    ordered = sorted(
+        list(candidates),
+        key=lambda c: (-weight(c), c.def_stmt.uid),
+    )
+    contracted = []
+    for candidate in ordered:
+        clusters = {
+            partition.cluster_of(stmt) for stmt in candidate.statements
+        }
+        if not clusters:
+            continue
+        clusters = grown(clusters, partition)
+        if not range_is_contractible(candidate, clusters, partition):
+            continue
+        if not partition.merge_is_fusion_partition(clusters):
+            continue
+        if merge_filter is not None and not merge_filter(clusters, partition):
+            continue
+        if len(clusters) > 1:
+            partition.merge(clusters)
+        contracted.append(candidate)
+    return contracted
+
+
+def fusion_for_locality(
+    partition: FusionPartition,
+    config_env: Mapping[str, int],
+    merge_filter: Optional[MergeFilter] = None,
+) -> List[str]:
+    """Fuse for locality: Figure 3 without the CONTRACTIBLE? predicate.
+
+    Returns the arrays whose references were brought into a single cluster
+    (the locality analogue of the contraction benefit).
+    """
+    improved: List[str] = []
+    variables = partition.graph.variables()
+    for variable in weights_by_decreasing(variables, partition.graph, config_env):
+        clusters = partition.clusters_referencing(variable)
+        if len(clusters) <= 1:
+            continue
+        clusters = grown(clusters, partition)
+        if not partition.merge_is_fusion_partition(clusters):
+            continue
+        if merge_filter is not None and not merge_filter(clusters, partition):
+            continue
+        partition.merge(clusters)
+        improved.append(variable)
+    return improved
+
+
+def fuse_all_legal(
+    partition: FusionPartition,
+    merge_filter: Optional[MergeFilter] = None,
+) -> int:
+    """Greedy pair-wise fusion of every legally fusible cluster pair (f4).
+
+    Returns the number of merges performed.
+    """
+    merges = 0
+    changed = True
+    while changed:
+        changed = False
+        for first, second in combinations(partition.cluster_ids(), 2):
+            clusters = grown({first, second}, partition)
+            if not partition.merge_is_fusion_partition(clusters):
+                continue
+            if merge_filter is not None and not merge_filter(clusters, partition):
+                continue
+            partition.merge(clusters)
+            merges += 1
+            changed = True
+            break
+    return merges

@@ -1,0 +1,27 @@
+"""The GROW closure from FUSION-FOR-CONTRACTION (Figure 3).
+
+``GROW(c, G)`` returns the fusible clusters not in ``c`` that are reachable
+by a dependence path from a cluster in ``c`` *and* have a dependence path to
+a cluster in ``c`` — exactly the clusters that would sit on an
+inter-fusible-cluster cycle if the clusters in ``c`` were fused.  Absorbing
+them into the merge keeps the partition acyclic (condition (iii)).
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.fusion.partition import FusionPartition
+from repro.util.graph import on_paths_between
+
+
+def grow(cluster_ids: Set[int], partition: FusionPartition) -> Set[int]:
+    """Clusters that must be absorbed to fuse ``cluster_ids`` without cycles."""
+    edges = partition.cluster_graph()
+    on_paths = on_paths_between(set(cluster_ids), set(cluster_ids), edges)
+    return on_paths - set(cluster_ids)
+
+
+def grown(cluster_ids: Set[int], partition: FusionPartition) -> Set[int]:
+    """``cluster_ids`` together with their GROW closure (Figure 3, line 6)."""
+    return set(cluster_ids) | grow(cluster_ids, partition)

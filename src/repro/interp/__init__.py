@@ -1,0 +1,15 @@
+"""Interpreters: reference array semantics and scalarized execution."""
+
+from repro.interp.array_interp import ArrayInterpreter, run_reference
+from repro.interp.boundary import fill_boundary
+from repro.interp.loop_interp import LoopInterpreter, run_scalarized
+from repro.interp.storage import Storage
+
+__all__ = [
+    "ArrayInterpreter",
+    "fill_boundary",
+    "LoopInterpreter",
+    "Storage",
+    "run_reference",
+    "run_scalarized",
+]

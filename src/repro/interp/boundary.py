@@ -1,0 +1,71 @@
+"""Halo filling for ``wrap`` and ``reflect`` boundary statements.
+
+A boundary statement fills every allocated element of an array *outside*
+the given region: ``wrap`` copies periodically from the opposite edge,
+``reflect`` mirrors across the region boundary.  Dimensions are processed
+in order, so corner halo cells combine both dimensions' rules (the
+standard order-dependent corner fill).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.interp.storage import Storage
+from repro.util.errors import InterpError
+
+
+def fill_boundary(
+    storage: Storage,
+    array: str,
+    region_bounds: Tuple[Tuple[int, int], ...],
+    kind: str,
+) -> None:
+    """Fill ``array``'s halo outside ``region_bounds`` in place."""
+    data = storage.arrays[array]
+    base = storage.bases[array]
+    if array in storage.wrapped:
+        raise InterpError("cannot apply %s to circular buffer %s" % (kind, array))
+    if len(region_bounds) != data.ndim:
+        raise InterpError(
+            "boundary region rank %d does not match array %s rank %d"
+            % (len(region_bounds), array, data.ndim)
+        )
+
+    for dim, (lo, hi) in enumerate(region_bounds):
+        lo_raw = lo - base[dim]
+        hi_raw = hi - base[dim]
+        extent = data.shape[dim]
+        period = hi_raw - lo_raw + 1
+        if period <= 0:
+            raise InterpError("empty boundary region for %s" % array)
+        for raw in range(0, lo_raw):
+            _copy_plane(data, dim, raw, _source_index(kind, raw, lo_raw, hi_raw, period))
+        for raw in range(hi_raw + 1, extent):
+            _copy_plane(data, dim, raw, _source_index(kind, raw, lo_raw, hi_raw, period))
+
+
+def _source_index(kind: str, raw: int, lo: int, hi: int, period: int) -> int:
+    if kind == "wrap":
+        # Shift into [lo, hi] by whole periods.
+        offset = (raw - lo) % period
+        return lo + offset
+    if kind == "reflect":
+        if raw < lo:
+            return 2 * lo - 1 - raw
+        return 2 * hi + 1 - raw
+    raise InterpError("unknown boundary kind %r" % kind)
+
+
+def _copy_plane(data: np.ndarray, dim: int, dest: int, source: int) -> None:
+    if source < 0 or source >= data.shape[dim]:
+        raise InterpError(
+            "boundary source index %d outside allocation (dim %d)" % (source, dim)
+        )
+    dest_slice = [slice(None)] * data.ndim
+    source_slice = [slice(None)] * data.ndim
+    dest_slice[dim] = dest
+    source_slice[dim] = source
+    data[tuple(dest_slice)] = data[tuple(source_slice)]

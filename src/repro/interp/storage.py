@@ -1,0 +1,128 @@
+"""Numpy-backed storage shared by both interpreters.
+
+Arrays are allocated over their *allocation region* (declared region plus
+halo), so constant-offset references never index outside storage.  Elements
+outside the declared region ("boundary" elements in ZPL terms) are
+zero-initialized, giving deterministic semantics to stencil reads at the
+edges.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Tuple
+
+import numpy as np
+
+from repro.ir.region import Region
+from repro.util.errors import InterpError
+
+_DTYPES = {"float": np.float64, "integer": np.int64, "boolean": np.bool_}
+
+_SCALAR_DEFAULTS = {"float": 0.0, "integer": 0, "boolean": False}
+
+
+class Storage:
+    """All program state: arrays (with halos) and scalars."""
+
+    def __init__(self) -> None:
+        self.arrays: Dict[str, np.ndarray] = {}
+        self.bases: Dict[str, Tuple[int, ...]] = {}
+        self.scalars: Dict[str, object] = {}
+        #: Circular-buffer arrays (partial contraction): name -> (dim, depth)
+        self.wrapped: Dict[str, Tuple[int, int]] = {}
+
+    # -- construction ------------------------------------------------------
+
+    def allocate_array(self, name: str, region: Region, kind: str) -> None:
+        """Allocate ``name`` over a constant region."""
+        bounds = region.concrete_bounds({})
+        shape = tuple(max(hi - lo + 1, 1) for lo, hi in bounds)
+        self.arrays[name] = np.zeros(shape, dtype=_DTYPES[kind])
+        self.bases[name] = tuple(lo for lo, _hi in bounds)
+
+    def allocate_buffer(
+        self, name: str, region: Region, kind: str, dim: int, depth: int
+    ) -> None:
+        """Allocate a partially contracted array: ``depth`` rows along ``dim``.
+
+        Indices along ``dim`` are taken modulo ``depth`` on every access.
+        """
+        bounds = list(region.concrete_bounds({}))
+        bounds[dim - 1] = (0, depth - 1)
+        shape = tuple(max(hi - lo + 1, 1) for lo, hi in bounds)
+        self.arrays[name] = np.zeros(shape, dtype=_DTYPES[kind])
+        self.bases[name] = tuple(lo for lo, _hi in bounds)
+        self.wrapped[name] = (dim, depth)
+
+    def _map_point(self, name: str, point: Tuple[int, ...]) -> Tuple[int, ...]:
+        wrap = self.wrapped.get(name)
+        base = self.bases[name]
+        if wrap is None:
+            return tuple(p - b for p, b in zip(point, base))
+        dim, depth = wrap
+        mapped = []
+        for index, (p, b) in enumerate(zip(point, base), start=1):
+            if index == dim:
+                mapped.append(p % depth)
+            else:
+                mapped.append(p - b)
+        return tuple(mapped)
+
+    def declare_scalar(self, name: str, kind: str) -> None:
+        self.scalars[name] = _SCALAR_DEFAULTS[kind]
+
+    # -- access --------------------------------------------------------------
+
+    def scalar(self, name: str) -> object:
+        if name not in self.scalars:
+            raise InterpError("undefined scalar %r" % name)
+        return self.scalars[name]
+
+    def set_scalar(self, name: str, value: object) -> None:
+        self.scalars[name] = value
+
+    def element(self, name: str, point: Tuple[int, ...]) -> object:
+        """Read one array element at absolute index ``point``."""
+        return self.arrays[name][self._map_point(name, point)]
+
+    def set_element(self, name: str, point: Tuple[int, ...], value: object) -> None:
+        self.arrays[name][self._map_point(name, point)] = value
+
+    def slice_view(
+        self,
+        name: str,
+        bounds: Tuple[Tuple[int, int], ...],
+        offset: Tuple[int, ...],
+    ) -> np.ndarray:
+        """A view of ``name`` over ``bounds`` translated by ``offset``."""
+        if name in self.wrapped:
+            raise InterpError(
+                "circular buffer %s cannot be viewed as a region slice" % name
+            )
+        array = self.arrays[name]
+        base = self.bases[name]
+        slices: List[slice] = []
+        for (lo, hi), off, b in zip(bounds, offset, base):
+            start = lo + off - b
+            stop = hi + off - b + 1
+            if start < 0 or stop > array.shape[len(slices)]:
+                raise InterpError(
+                    "reference to %s at offset %r escapes its allocation "
+                    "(bounds %r)" % (name, offset, bounds)
+                )
+            slices.append(slice(start, stop))
+        return array[tuple(slices)]
+
+    def region_view(self, name: str, region_bounds) -> np.ndarray:
+        """A view over the array's own (un-offset) region."""
+        rank = len(region_bounds)
+        return self.slice_view(name, tuple(region_bounds), (0,) * rank)
+
+    # -- inspection ---------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, np.ndarray]:
+        """Copies of all arrays, for differential testing."""
+        return {name: array.copy() for name, array in self.arrays.items()}
+
+    def total_array_bytes(self) -> int:
+        return sum(array.nbytes for array in self.arrays.values())

@@ -1,0 +1,68 @@
+"""Normal-form IR: regions, element-wise statements, normalization."""
+
+from repro.ir.expr import (
+    ArrayRef,
+    BinOp,
+    Call,
+    Const,
+    IndexRef,
+    IRExpr,
+    Reduce,
+    ScalarRef,
+    UnOp,
+    collect_ref_tuples,
+    substitute_refs,
+)
+from repro.ir.linexpr import LinearExpr
+from repro.ir.normalize import Normalizer, normalize, normalize_source
+from repro.ir.program import ArrayInfo, IRProgram, ScalarInfo
+from repro.ir.region import Region
+from repro.ir.simplify import simplify_expr, simplify_program
+from repro.ir.statement import (
+    ArrayStatement,
+    BoundaryStatement,
+    IfStatement,
+    IRStatement,
+    LoopStatement,
+    ReductionStatement,
+    ScalarStatement,
+    WhileStatement,
+    basic_blocks,
+    walk_blocks,
+    walk_statements,
+)
+
+__all__ = [
+    "ArrayInfo",
+    "ArrayRef",
+    "ArrayStatement",
+    "BoundaryStatement",
+    "BinOp",
+    "Call",
+    "Const",
+    "IRExpr",
+    "IRProgram",
+    "IndexRef",
+    "IRStatement",
+    "IfStatement",
+    "LinearExpr",
+    "LoopStatement",
+    "Normalizer",
+    "Reduce",
+    "ReductionStatement",
+    "Region",
+    "ScalarInfo",
+    "ScalarRef",
+    "ScalarStatement",
+    "UnOp",
+    "WhileStatement",
+    "basic_blocks",
+    "collect_ref_tuples",
+    "normalize",
+    "normalize_source",
+    "simplify_expr",
+    "simplify_program",
+    "substitute_refs",
+    "walk_blocks",
+    "walk_statements",
+]

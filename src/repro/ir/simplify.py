@@ -1,0 +1,172 @@
+"""Constant folding and algebraic simplification of IR expressions.
+
+Normalization folds configuration constants into literals, which leaves
+right-hand sides full of foldable subtrees (``2.0 * 0.5``, ``x + 0``,
+``1 * y``...).  This pass cleans them up before scalarization: fewer
+operation nodes mean fewer flops in the generated loops and in the cost
+model — the same local simplifications the ZPL compiler's back end relied
+on its C compiler for.
+
+The pass is semantics-preserving under IEEE floating point only for the
+rewrites listed here; in particular ``x * 0 -> 0`` is *not* performed
+(it would drop NaN/inf propagation) and reassociation is never attempted.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from repro.ir import expr as ir
+from repro.ir.program import IRProgram
+from repro.ir.statement import (
+    ArrayStatement,
+    IfStatement,
+    IRStatement,
+    LoopStatement,
+    ScalarStatement,
+    WhileStatement,
+)
+
+_FOLDABLE_CALLS = {
+    "sqrt": math.sqrt,
+    "exp": math.exp,
+    "log": math.log,
+    "sin": math.sin,
+    "cos": math.cos,
+    "tan": math.tan,
+    "atan": math.atan,
+    "abs": abs,
+    "min": min,
+    "max": max,
+    "pow": math.pow,
+}
+
+
+def _const_value(node: ir.IRExpr):
+    if isinstance(node, ir.Const) and isinstance(node.value, (int, float)):
+        if isinstance(node.value, bool):
+            return None
+        return node.value
+    return None
+
+
+def _is_zero(node: ir.IRExpr) -> bool:
+    value = _const_value(node)
+    return value == 0
+
+def _is_one(node: ir.IRExpr) -> bool:
+    value = _const_value(node)
+    return value == 1
+
+
+def _fold_binop(node: ir.BinOp) -> Optional[ir.IRExpr]:
+    left = _const_value(node.left)
+    right = _const_value(node.right)
+
+    if left is not None and right is not None:
+        try:
+            if node.op == "+":
+                return ir.Const(left + right)
+            if node.op == "-":
+                return ir.Const(left - right)
+            if node.op == "*":
+                return ir.Const(left * right)
+            if node.op == "/":
+                return ir.Const(left / right)
+            if node.op == "%":
+                return ir.Const(left % right)
+            if node.op == "^":
+                return ir.Const(float(left) ** right)
+        except (ZeroDivisionError, OverflowError, ValueError):
+            return None  # keep the runtime behaviour (error / inf)
+        return None
+
+    # Identity elements.  (x*0 and 0/x are NOT folded: NaN/inf semantics.)
+    if node.op == "+":
+        if _is_zero(node.left):
+            return node.right
+        if _is_zero(node.right):
+            return node.left
+    elif node.op == "-":
+        if _is_zero(node.right):
+            return node.left
+    elif node.op == "*":
+        if _is_one(node.left):
+            return node.right
+        if _is_one(node.right):
+            return node.left
+    elif node.op == "/":
+        if _is_one(node.right):
+            return node.left
+    elif node.op == "^":
+        if _is_one(node.right):
+            return node.left
+    return None
+
+
+def _fold_unop(node: ir.UnOp) -> Optional[ir.IRExpr]:
+    value = _const_value(node.operand)
+    if node.op == "-" and value is not None:
+        return ir.Const(-value)
+    if (
+        node.op == "-"
+        and isinstance(node.operand, ir.UnOp)
+        and node.operand.op == "-"
+    ):
+        return node.operand.operand
+    return None
+
+
+def _fold_call(node: ir.Call) -> Optional[ir.IRExpr]:
+    fn = _FOLDABLE_CALLS.get(node.name)
+    if fn is None:
+        return None
+    values = [_const_value(arg) for arg in node.args]
+    if any(value is None for value in values):
+        return None
+    try:
+        result = fn(*values)
+    except (ValueError, OverflowError, ZeroDivisionError):
+        return None
+    return ir.Const(float(result))
+
+
+def simplify_expr(expr: ir.IRExpr) -> ir.IRExpr:
+    """Fold constants and identities bottom-up; semantics-preserving."""
+
+    def visit(node: ir.IRExpr) -> Optional[ir.IRExpr]:
+        if isinstance(node, ir.BinOp):
+            return _fold_binop(node)
+        if isinstance(node, ir.UnOp):
+            return _fold_unop(node)
+        if isinstance(node, ir.Call):
+            return _fold_call(node)
+        return None
+
+    return expr.map(visit)
+
+
+def simplify_program(program: IRProgram) -> IRProgram:
+    """Simplify every statement's expressions in place; returns the program."""
+
+    def walk(body: List[IRStatement]) -> None:
+        for stmt in body:
+            if isinstance(stmt, ArrayStatement):
+                stmt.rhs = simplify_expr(stmt.rhs)
+            elif isinstance(stmt, ScalarStatement):
+                stmt.rhs = simplify_expr(stmt.rhs)
+            elif isinstance(stmt, LoopStatement):
+                stmt.lo = simplify_expr(stmt.lo)
+                stmt.hi = simplify_expr(stmt.hi)
+                walk(stmt.body)
+            elif isinstance(stmt, IfStatement):
+                stmt.cond = simplify_expr(stmt.cond)
+                walk(stmt.then_body)
+                walk(stmt.else_body)
+            elif isinstance(stmt, WhileStatement):
+                stmt.cond = simplify_expr(stmt.cond)
+                walk(stmt.body)
+
+    walk(program.body)
+    return program

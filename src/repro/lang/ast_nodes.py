@@ -1,0 +1,458 @@
+"""Abstract syntax tree for the mini-ZPL language.
+
+The AST is deliberately close to ZPL's surface syntax: array statements are
+region-scoped assignments whose right-hand sides reference arrays either
+directly or through constant ``@``-offsets; sequential control flow wraps
+basic blocks of array statements.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.util.errors import SourceLocation
+
+
+class Node:
+    """Base class for all AST nodes."""
+
+    __slots__ = ("location",)
+
+    def __init__(self, location: Optional[SourceLocation] = None) -> None:
+        self.location = location
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+class Expr(Node):
+    """Base class for expressions."""
+
+    __slots__ = ()
+
+
+class IntLit(Expr):
+    """An integer literal."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int, location=None) -> None:
+        super().__init__(location)
+        self.value = value
+
+    def __repr__(self) -> str:
+        return "IntLit(%d)" % self.value
+
+
+class FloatLit(Expr):
+    """A floating-point literal."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: float, location=None) -> None:
+        super().__init__(location)
+        self.value = value
+
+    def __repr__(self) -> str:
+        return "FloatLit(%r)" % self.value
+
+
+class BoolLit(Expr):
+    """A boolean literal."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: bool, location=None) -> None:
+        super().__init__(location)
+        self.value = value
+
+    def __repr__(self) -> str:
+        return "BoolLit(%r)" % self.value
+
+
+class VarRef(Expr):
+    """A reference to a scalar or array variable (no offset)."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str, location=None) -> None:
+        super().__init__(location)
+        self.name = name
+
+    def __repr__(self) -> str:
+        return "VarRef(%s)" % self.name
+
+
+class OffsetRef(Expr):
+    """An array reference through a constant offset: ``A@(d1,...,dn)``.
+
+    ``direction`` is either a tuple of integers (literal direction) or a
+    string naming a declared ``direction``; semantic analysis resolves names
+    to tuples.
+    """
+
+    __slots__ = ("name", "direction")
+
+    def __init__(self, name: str, direction, location=None) -> None:
+        super().__init__(location)
+        self.name = name
+        self.direction = direction
+
+    def __repr__(self) -> str:
+        return "OffsetRef(%s@%r)" % (self.name, self.direction)
+
+
+class BinOp(Expr):
+    """A binary operation; ``op`` is the operator's source spelling."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Expr, right: Expr, location=None) -> None:
+        super().__init__(location)
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def __repr__(self) -> str:
+        return "BinOp(%r, %r, %r)" % (self.op, self.left, self.right)
+
+
+class UnOp(Expr):
+    """A unary operation (``-`` or ``not``)."""
+
+    __slots__ = ("op", "operand")
+
+    def __init__(self, op: str, operand: Expr, location=None) -> None:
+        super().__init__(location)
+        self.op = op
+        self.operand = operand
+
+    def __repr__(self) -> str:
+        return "UnOp(%r, %r)" % (self.op, self.operand)
+
+
+class Call(Expr):
+    """An intrinsic function call (sqrt, exp, min, ...)."""
+
+    __slots__ = ("name", "args")
+
+    def __init__(self, name: str, args: Sequence[Expr], location=None) -> None:
+        super().__init__(location)
+        self.name = name
+        self.args = list(args)
+
+    def __repr__(self) -> str:
+        return "Call(%s, %r)" % (self.name, self.args)
+
+
+class Reduce(Expr):
+    """A full reduction of an array expression to a scalar.
+
+    ``op`` is one of ``+ * max min``; ``region`` is an optional
+    :class:`RegionSpec` giving the index set reduced over (defaults to the
+    declared region of the arrays involved).
+    """
+
+    __slots__ = ("op", "region", "operand")
+
+    def __init__(self, op: str, region, operand: Expr, location=None) -> None:
+        super().__init__(location)
+        self.op = op
+        self.region = region
+        self.operand = operand
+
+    def __repr__(self) -> str:
+        return "Reduce(%r, %r, %r)" % (self.op, self.region, self.operand)
+
+
+# ---------------------------------------------------------------------------
+# Regions and types
+# ---------------------------------------------------------------------------
+
+
+class RangeDim(Node):
+    """One dimension of a region literal: ``lo..hi`` or a degenerate index."""
+
+    __slots__ = ("lo", "hi")
+
+    def __init__(self, lo: Expr, hi: Expr, location=None) -> None:
+        super().__init__(location)
+        self.lo = lo
+        self.hi = hi
+
+    def __repr__(self) -> str:
+        return "RangeDim(%r, %r)" % (self.lo, self.hi)
+
+
+class RegionSpec(Node):
+    """A region in statement or type position: a name or an inline literal."""
+
+    __slots__ = ("name", "dims")
+
+    def __init__(
+        self,
+        name: Optional[str] = None,
+        dims: Optional[List[RangeDim]] = None,
+        location=None,
+    ) -> None:
+        super().__init__(location)
+        if (name is None) == (dims is None):
+            raise ValueError("RegionSpec needs exactly one of name or dims")
+        self.name = name
+        self.dims = dims
+
+    def __repr__(self) -> str:
+        if self.name is not None:
+            return "RegionSpec(%s)" % self.name
+        return "RegionSpec(%r)" % self.dims
+
+
+class TypeSpec(Node):
+    """A declared type: scalar (``integer``/``float``/``boolean``) or array.
+
+    Array types carry the region the array is declared over:
+    ``var A : [R] float;``.
+    """
+
+    __slots__ = ("kind", "region")
+
+    def __init__(self, kind: str, region: Optional[RegionSpec] = None, location=None):
+        super().__init__(location)
+        self.kind = kind
+        self.region = region
+
+    @property
+    def is_array(self) -> bool:
+        return self.region is not None
+
+    def __repr__(self) -> str:
+        if self.region is None:
+            return "TypeSpec(%s)" % self.kind
+        return "TypeSpec([%r] %s)" % (self.region, self.kind)
+
+
+# ---------------------------------------------------------------------------
+# Declarations
+# ---------------------------------------------------------------------------
+
+
+class Decl(Node):
+    """Base class for top-level declarations."""
+
+    __slots__ = ()
+
+
+class ConfigDecl(Decl):
+    """``config n : integer = 64;`` — a tunable compile-time constant."""
+
+    __slots__ = ("name", "kind", "default")
+
+    def __init__(self, name: str, kind: str, default: Expr, location=None) -> None:
+        super().__init__(location)
+        self.name = name
+        self.kind = kind
+        self.default = default
+
+    def __repr__(self) -> str:
+        return "ConfigDecl(%s : %s = %r)" % (self.name, self.kind, self.default)
+
+
+class RegionDecl(Decl):
+    """``region R = [1..n, 1..m];``."""
+
+    __slots__ = ("name", "dims")
+
+    def __init__(self, name: str, dims: List[RangeDim], location=None) -> None:
+        super().__init__(location)
+        self.name = name
+        self.dims = dims
+
+    def __repr__(self) -> str:
+        return "RegionDecl(%s, %r)" % (self.name, self.dims)
+
+
+class DirectionDecl(Decl):
+    """``direction north = [-1, 0];`` — a named constant offset."""
+
+    __slots__ = ("name", "components")
+
+    def __init__(self, name: str, components: Tuple[int, ...], location=None) -> None:
+        super().__init__(location)
+        self.name = name
+        self.components = tuple(components)
+
+    def __repr__(self) -> str:
+        return "DirectionDecl(%s, %r)" % (self.name, self.components)
+
+
+class VarDecl(Decl):
+    """``var A, B : [R] float;`` or ``var s : float;``."""
+
+    __slots__ = ("names", "type")
+
+    def __init__(self, names: List[str], type: TypeSpec, location=None) -> None:
+        super().__init__(location)
+        self.names = list(names)
+        self.type = type
+
+    def __repr__(self) -> str:
+        return "VarDecl(%r : %r)" % (self.names, self.type)
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+class Stmt(Node):
+    """Base class for statements."""
+
+    __slots__ = ()
+
+
+class ArrayAssign(Stmt):
+    """A region-scoped array assignment: ``[R] A := expr;``."""
+
+    __slots__ = ("region", "target", "value")
+
+    def __init__(
+        self, region: RegionSpec, target: str, value: Expr, location=None
+    ) -> None:
+        super().__init__(location)
+        self.region = region
+        self.target = target
+        self.value = value
+
+    def __repr__(self) -> str:
+        return "ArrayAssign([%r] %s := %r)" % (self.region, self.target, self.value)
+
+
+class BoundaryStmt(Stmt):
+    """A boundary statement: ``[R] wrap A;`` or ``[R] reflect A;``.
+
+    Fills the halo of ``A`` outside region ``R`` periodically (wrap) or by
+    mirroring (reflect), so stencil reads at the region's edges see
+    meaningful neighbors.  Boundary statements are compiler-primitive-like:
+    they are not normalized and never fuse (Section 2.1's remark about
+    communication primitives).
+    """
+
+    __slots__ = ("region", "kind", "array")
+
+    def __init__(self, region: "RegionSpec", kind: str, array: str, location=None):
+        super().__init__(location)
+        self.region = region
+        self.kind = kind
+        self.array = array
+
+    def __repr__(self) -> str:
+        return "BoundaryStmt([%r] %s %s)" % (self.region, self.kind, self.array)
+
+
+class ScalarAssign(Stmt):
+    """A scalar assignment: ``s := expr;`` (expr may contain reductions)."""
+
+    __slots__ = ("target", "value")
+
+    def __init__(self, target: str, value: Expr, location=None) -> None:
+        super().__init__(location)
+        self.target = target
+        self.value = value
+
+    def __repr__(self) -> str:
+        return "ScalarAssign(%s := %r)" % (self.target, self.value)
+
+
+class For(Stmt):
+    """A sequential counted loop: ``for i := lo to hi do ... end;``."""
+
+    __slots__ = ("var", "lo", "hi", "downto", "body")
+
+    def __init__(
+        self,
+        var: str,
+        lo: Expr,
+        hi: Expr,
+        body: List[Stmt],
+        downto: bool = False,
+        location=None,
+    ) -> None:
+        super().__init__(location)
+        self.var = var
+        self.lo = lo
+        self.hi = hi
+        self.downto = downto
+        self.body = body
+
+    def __repr__(self) -> str:
+        direction = "downto" if self.downto else "to"
+        return "For(%s := %r %s %r, %r)" % (
+            self.var,
+            self.lo,
+            direction,
+            self.hi,
+            self.body,
+        )
+
+
+class If(Stmt):
+    """A conditional over scalar state."""
+
+    __slots__ = ("cond", "then_body", "else_body")
+
+    def __init__(
+        self,
+        cond: Expr,
+        then_body: List[Stmt],
+        else_body: Optional[List[Stmt]] = None,
+        location=None,
+    ) -> None:
+        super().__init__(location)
+        self.cond = cond
+        self.then_body = then_body
+        self.else_body = else_body or []
+
+    def __repr__(self) -> str:
+        return "If(%r, %r, %r)" % (self.cond, self.then_body, self.else_body)
+
+
+class While(Stmt):
+    """A while loop over scalar state."""
+
+    __slots__ = ("cond", "body")
+
+    def __init__(self, cond: Expr, body: List[Stmt], location=None) -> None:
+        super().__init__(location)
+        self.cond = cond
+        self.body = body
+
+    def __repr__(self) -> str:
+        return "While(%r, %r)" % (self.cond, self.body)
+
+
+# ---------------------------------------------------------------------------
+# Program
+# ---------------------------------------------------------------------------
+
+
+class Program(Node):
+    """A whole compilation unit: declarations plus the body of ``main``."""
+
+    __slots__ = ("name", "decls", "body")
+
+    def __init__(
+        self, name: str, decls: List[Decl], body: List[Stmt], location=None
+    ) -> None:
+        super().__init__(location)
+        self.name = name
+        self.decls = decls
+        self.body = body
+
+    def __repr__(self) -> str:
+        return "Program(%s, %d decls, %d stmts)" % (
+            self.name,
+            len(self.decls),
+            len(self.body),
+        )

@@ -1,0 +1,201 @@
+"""AST pretty-printer: render a parsed program back to mini-ZPL source.
+
+The unparser round-trips: ``parse(pretty(parse(src)))`` produces a
+structurally identical AST (property-tested).  Useful for emitting
+transformed programs, for error reporting, and as documentation of the
+concrete syntax.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.lang import ast_nodes as ast
+from repro.util.errors import ReproError
+
+_PRECEDENCE = {
+    "or": 1,
+    "and": 2,
+    "=": 4,
+    "!=": 4,
+    "<": 4,
+    "<=": 4,
+    ">": 4,
+    ">=": 4,
+    "+": 5,
+    "-": 5,
+    "*": 6,
+    "/": 6,
+    "%": 6,
+    "^": 8,
+}
+
+
+class PrettyPrinter:
+    """Renders AST nodes with minimal parenthesization."""
+
+    def __init__(self, indent: str = "  ") -> None:
+        self._indent = indent
+
+    # -- program -----------------------------------------------------------
+
+    def program(self, node: ast.Program) -> str:
+        lines: List[str] = ["program %s;" % node.name, ""]
+        for decl in node.decls:
+            lines.append(self.decl(decl))
+        if node.decls:
+            lines.append("")
+        lines.append("begin")
+        lines.extend(self.stmts(node.body, 1))
+        lines.append("end;")
+        return "\n".join(lines) + "\n"
+
+    # -- declarations ---------------------------------------------------------
+
+    def decl(self, node: ast.Decl) -> str:
+        if isinstance(node, ast.ConfigDecl):
+            return "config %s : %s = %s;" % (
+                node.name,
+                node.kind,
+                self.expr(node.default),
+            )
+        if isinstance(node, ast.RegionDecl):
+            return "region %s = %s;" % (node.name, self._dims(node.dims))
+        if isinstance(node, ast.DirectionDecl):
+            return "direction %s = [%s];" % (
+                node.name,
+                ", ".join(str(c) for c in node.components),
+            )
+        if isinstance(node, ast.VarDecl):
+            return "var %s : %s;" % (
+                ", ".join(node.names),
+                self._type(node.type),
+            )
+        raise ReproError("cannot print declaration %r" % node)
+
+    def _type(self, node: ast.TypeSpec) -> str:
+        if node.is_array:
+            return "%s %s" % (self.region_spec(node.region), node.kind)
+        return node.kind
+
+    def _dims(self, dims: List[ast.RangeDim]) -> str:
+        parts = []
+        for dim in dims:
+            if dim.lo is dim.hi:
+                parts.append(self.expr(dim.lo))
+            else:
+                parts.append("%s..%s" % (self.expr(dim.lo), self.expr(dim.hi)))
+        return "[%s]" % ", ".join(parts)
+
+    def region_spec(self, node: ast.RegionSpec) -> str:
+        if node.name is not None:
+            return "[%s]" % node.name
+        return self._dims(node.dims)
+
+    # -- statements -------------------------------------------------------------
+
+    def stmts(self, body: List[ast.Stmt], depth: int) -> List[str]:
+        lines: List[str] = []
+        pad = self._indent * depth
+        for stmt in body:
+            if isinstance(stmt, ast.ArrayAssign):
+                lines.append(
+                    "%s%s %s := %s;"
+                    % (
+                        pad,
+                        self.region_spec(stmt.region),
+                        stmt.target,
+                        self.expr(stmt.value),
+                    )
+                )
+            elif isinstance(stmt, ast.BoundaryStmt):
+                lines.append(
+                    "%s%s %s %s;"
+                    % (pad, self.region_spec(stmt.region), stmt.kind, stmt.array)
+                )
+            elif isinstance(stmt, ast.ScalarAssign):
+                lines.append(
+                    "%s%s := %s;" % (pad, stmt.target, self.expr(stmt.value))
+                )
+            elif isinstance(stmt, ast.For):
+                lines.append(
+                    "%sfor %s := %s %s %s do"
+                    % (
+                        pad,
+                        stmt.var,
+                        self.expr(stmt.lo),
+                        "downto" if stmt.downto else "to",
+                        self.expr(stmt.hi),
+                    )
+                )
+                lines.extend(self.stmts(stmt.body, depth + 1))
+                lines.append("%send;" % pad)
+            elif isinstance(stmt, ast.If):
+                lines.append("%sif %s then" % (pad, self.expr(stmt.cond)))
+                lines.extend(self.stmts(stmt.then_body, depth + 1))
+                if stmt.else_body:
+                    lines.append("%selse" % pad)
+                    lines.extend(self.stmts(stmt.else_body, depth + 1))
+                lines.append("%send;" % pad)
+            elif isinstance(stmt, ast.While):
+                lines.append("%swhile %s do" % (pad, self.expr(stmt.cond)))
+                lines.extend(self.stmts(stmt.body, depth + 1))
+                lines.append("%send;" % pad)
+            else:
+                raise ReproError("cannot print statement %r" % stmt)
+        return lines
+
+    # -- expressions --------------------------------------------------------------
+
+    def expr(self, node: ast.Expr, parent_precedence: int = 0) -> str:
+        text, precedence = self._expr_prec(node)
+        if precedence < parent_precedence:
+            return "(%s)" % text
+        return text
+
+    def _expr_prec(self, node: ast.Expr):
+        if isinstance(node, ast.IntLit):
+            return str(node.value), 10
+        if isinstance(node, ast.FloatLit):
+            return repr(node.value), 10
+        if isinstance(node, ast.BoolLit):
+            return ("true" if node.value else "false"), 10
+        if isinstance(node, ast.VarRef):
+            return node.name, 10
+        if isinstance(node, ast.OffsetRef):
+            if isinstance(node.direction, str):
+                return "%s@%s" % (node.name, node.direction), 9
+            return (
+                "%s@(%s)" % (node.name, ", ".join(str(c) for c in node.direction)),
+                9,
+            )
+        if isinstance(node, ast.BinOp):
+            precedence = _PRECEDENCE[node.op]
+            if node.op == "^":
+                # Right-associative: parenthesize a compound left operand.
+                left = self.expr(node.left, precedence + 1)
+                right = self.expr(node.right, precedence)
+            else:
+                left = self.expr(node.left, precedence)
+                right = self.expr(node.right, precedence + 1)
+            return "%s %s %s" % (left, node.op, right), precedence
+        if isinstance(node, ast.UnOp):
+            if node.op == "not":
+                return "not %s" % self.expr(node.operand, 3), 3
+            return "-%s" % self.expr(node.operand, 7), 7
+        if isinstance(node, ast.Call):
+            args = ", ".join(self.expr(a) for a in node.args)
+            return "%s(%s)" % (node.name, args), 10
+        if isinstance(node, ast.Reduce):
+            region = (
+                "%s " % self.region_spec(node.region)
+                if node.region is not None
+                else ""
+            )
+            return "%s<< %s%s" % (node.op, region, self.expr(node.operand, 7)), 7
+        raise ReproError("cannot print expression %r" % node)
+
+
+def pretty(program: ast.Program) -> str:
+    """Render a parsed program back to source text."""
+    return PrettyPrinter().program(program)

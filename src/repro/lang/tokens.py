@@ -1,0 +1,150 @@
+"""Token definitions for the mini-ZPL source language.
+
+The language implemented here is the core of ZPL as described in Section 2.1
+of the paper: regions, parallel arrays, ``@``-offset references, reductions,
+plus enough sequential control flow (``for``/``if``/``while``) to express the
+benchmark programs (EP, SP, Tomcatv, Simple, Fibro, Frac).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.util.errors import SourceLocation
+
+
+class TokenType(enum.Enum):
+    """Every terminal of the grammar."""
+
+    # Literals and identifiers.
+    IDENT = "identifier"
+    INT = "integer literal"
+    FLOAT = "float literal"
+
+    # Keywords.
+    PROGRAM = "program"
+    CONFIG = "config"
+    REGION = "region"
+    DIRECTION = "direction"
+    VAR = "var"
+    PROCEDURE = "procedure"
+    BEGIN = "begin"
+    END = "end"
+    FOR = "for"
+    TO = "to"
+    DOWNTO = "downto"
+    DO = "do"
+    IF = "if"
+    THEN = "then"
+    ELSE = "else"
+    ELSIF = "elsif"
+    WHILE = "while"
+    WRAP = "wrap"
+    REFLECT = "reflect"
+    INTEGER = "integer"
+    FLOATKW = "float"
+    BOOLEAN = "boolean"
+    AND = "and"
+    OR = "or"
+    NOT = "not"
+    TRUE = "true"
+    FALSE = "false"
+
+    # Operators and punctuation.
+    ASSIGN = ":="
+    PLUS = "+"
+    MINUS = "-"
+    STAR = "*"
+    SLASH = "/"
+    CARET = "^"
+    PERCENT = "%"
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    EQ = "="
+    NE = "!="
+    AT = "@"
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACKET = "["
+    RBRACKET = "]"
+    COMMA = ","
+    SEMI = ";"
+    COLON = ":"
+    DOTDOT = ".."
+    SUMRED = "+<<"
+    PRODRED = "*<<"
+    MAXRED = "max<<"
+    MINRED = "min<<"
+    EOF = "end of input"
+
+
+KEYWORDS = {
+    "program": TokenType.PROGRAM,
+    "config": TokenType.CONFIG,
+    "region": TokenType.REGION,
+    "direction": TokenType.DIRECTION,
+    "var": TokenType.VAR,
+    "procedure": TokenType.PROCEDURE,
+    "begin": TokenType.BEGIN,
+    "end": TokenType.END,
+    "for": TokenType.FOR,
+    "to": TokenType.TO,
+    "downto": TokenType.DOWNTO,
+    "do": TokenType.DO,
+    "if": TokenType.IF,
+    "then": TokenType.THEN,
+    "else": TokenType.ELSE,
+    "elsif": TokenType.ELSIF,
+    "while": TokenType.WHILE,
+    "wrap": TokenType.WRAP,
+    "reflect": TokenType.REFLECT,
+    "integer": TokenType.INTEGER,
+    "float": TokenType.FLOATKW,
+    "boolean": TokenType.BOOLEAN,
+    "and": TokenType.AND,
+    "or": TokenType.OR,
+    "not": TokenType.NOT,
+    "true": TokenType.TRUE,
+    "false": TokenType.FALSE,
+}
+
+REDUCTION_OPS = {
+    TokenType.SUMRED: "+",
+    TokenType.PRODRED: "*",
+    TokenType.MAXRED: "max",
+    TokenType.MINRED: "min",
+}
+
+
+class Token:
+    """A single lexical token with its source location."""
+
+    __slots__ = ("type", "text", "location", "value")
+
+    def __init__(
+        self,
+        type: TokenType,
+        text: str,
+        location: SourceLocation,
+        value: Optional[object] = None,
+    ) -> None:
+        self.type = type
+        self.text = text
+        self.location = location
+        self.value = value
+
+    def __repr__(self) -> str:
+        return "Token(%s, %r, %s)" % (self.type.name, self.text, self.location)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Token)
+            and self.type == other.type
+            and self.text == other.text
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.type, self.text))

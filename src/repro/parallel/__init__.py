@@ -1,0 +1,47 @@
+"""Parallel substrate: distribution, communication, interaction policies."""
+
+from repro.parallel.comm import CommEvent, analyze_run, communicated_arrays
+from repro.parallel.commcost import ParallelCostModel, estimate_parallel
+from repro.parallel.commopt import (
+    ALL_COMM_OPTS,
+    NO_COMM_OPTS,
+    CommOptions,
+    combine_messages,
+    eliminate_redundant,
+    message_cost_us,
+    optimized_comm_cost_us,
+    singleton_messages,
+)
+from repro.parallel.distribution import (
+    ProcessorGrid,
+    balanced_factorization,
+    scaled_global_extent,
+)
+from repro.parallel.interaction import (
+    FAVOR_COMM,
+    FAVOR_FUSION,
+    comm_merge_filter,
+    plan_program_with_policy,
+)
+
+__all__ = [
+    "ALL_COMM_OPTS",
+    "CommEvent",
+    "CommOptions",
+    "FAVOR_COMM",
+    "FAVOR_FUSION",
+    "NO_COMM_OPTS",
+    "ParallelCostModel",
+    "ProcessorGrid",
+    "analyze_run",
+    "balanced_factorization",
+    "combine_messages",
+    "comm_merge_filter",
+    "communicated_arrays",
+    "eliminate_redundant",
+    "estimate_parallel",
+    "message_cost_us",
+    "optimized_comm_cost_us",
+    "scaled_global_extent",
+    "singleton_messages",
+]

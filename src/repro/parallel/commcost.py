@@ -1,0 +1,84 @@
+"""The parallel cost model: per-node computation plus communication.
+
+Extends the sequential model (Section 5.4's scaled-problem methodology: the
+data per processor is constant, so one *local-size* compiled program serves
+every processor count).  Communication is added per run of loop nests:
+
+* border exchanges for non-zero offsets along cut dimensions, passed through
+  the communication optimizer (:mod:`repro.parallel.commopt`);
+* a ``ceil(log2 p)``-stage combining tree for every full reduction.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Mapping, Sequence, Set
+
+from repro.machine.cost import CostResult, Counts, SequentialCostModel
+from repro.machine.models import MachineModel
+from repro.parallel.comm import analyze_run
+from repro.parallel.commopt import ALL_COMM_OPTS, CommOptions, optimized_comm_cost_us
+from repro.parallel.distribution import ProcessorGrid
+from repro.scalarize.loopnest import ReductionLoop, ScalarProgram, SNode
+
+_REDUCTION_PAYLOAD_BYTES = 8
+
+
+class ParallelCostModel(SequentialCostModel):
+    """Cost model for one node of a ``p``-processor execution."""
+
+    def __init__(
+        self,
+        program: ScalarProgram,
+        machine: MachineModel,
+        p: int,
+        comm_options: CommOptions = ALL_COMM_OPTS,
+        sample_iterations: int = 3,
+    ) -> None:
+        super().__init__(program, machine, sample_iterations)
+        self.p = p
+        self.comm_options = comm_options
+        rank = max(
+            (region.rank for region, _kind in program.array_allocs.values()),
+            default=2,
+        )
+        self.grid = ProcessorGrid(p, rank)
+        self.distributed_arrays: Set[str] = set(program.array_allocs)
+
+    # ------------------------------------------------------------------
+
+    def _process_run(
+        self,
+        run: Sequence[SNode],
+        per_node: List[Counts],
+        env: Mapping[str, int],
+    ) -> None:
+        if self.p == 1 or not per_node:
+            return
+        compute_us = [self.node_compute_us(counts) for counts in per_node]
+        events = analyze_run(run, self.grid, env, self.distributed_arrays)
+        comm_us = optimized_comm_cost_us(
+            events, run, self.machine.comm, compute_us, self.comm_options
+        )
+        comm_us += self._reduction_comm_us(run)
+        per_node[0].comm_us += comm_us
+
+    def _reduction_comm_us(self, run: Sequence[SNode]) -> float:
+        stages = math.ceil(math.log2(self.p)) if self.p > 1 else 0
+        if stages == 0:
+            return 0.0
+        per_stage = self.machine.comm.message_cost_us(_REDUCTION_PAYLOAD_BYTES)
+        reductions = sum(1 for node in run if isinstance(node, ReductionLoop))
+        return reductions * stages * per_stage
+
+
+def estimate_parallel(
+    program: ScalarProgram,
+    machine: MachineModel,
+    p: int,
+    comm_options: CommOptions = ALL_COMM_OPTS,
+    sample_iterations: int = 3,
+) -> CostResult:
+    """Estimate per-node time of a scaled-problem run on ``p`` processors."""
+    model = ParallelCostModel(program, machine, p, comm_options, sample_iterations)
+    return model.estimate()

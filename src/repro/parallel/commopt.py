@@ -1,0 +1,157 @@
+"""Communication optimizations (Section 5.5).
+
+Four classical optimizations over the event stream of one run of loop nests:
+
+* **message vectorization** — implicit: :mod:`repro.parallel.comm` already
+  emits whole border strips as single messages (never conflicts with fusion,
+  always performed);
+* **redundancy elimination** — an exchange is dropped if an identical one
+  (same array, dimension, direction, width) already happened and the array
+  has not been rewritten since;
+* **message combining** — events consumed by the same nest and bound for the
+  same neighbor merge into one message (one latency, summed payload);
+* **pipelining** — the network portion of a message overlaps with the
+  computation executed between the producing nest and the consuming nest.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.machine.models import CommParams
+from repro.parallel.comm import CommEvent
+from repro.scalarize.loopnest import LoopNest, SNode
+
+
+class CommOptions:
+    """Which communication optimizations to apply."""
+
+    __slots__ = ("redundancy_elimination", "combining", "pipelining")
+
+    def __init__(
+        self,
+        redundancy_elimination: bool = True,
+        combining: bool = True,
+        pipelining: bool = True,
+    ) -> None:
+        self.redundancy_elimination = redundancy_elimination
+        self.combining = combining
+        self.pipelining = pipelining
+
+    def __repr__(self) -> str:
+        return "CommOptions(re=%s, comb=%s, pipe=%s)" % (
+            self.redundancy_elimination,
+            self.combining,
+            self.pipelining,
+        )
+
+
+ALL_COMM_OPTS = CommOptions()
+NO_COMM_OPTS = CommOptions(False, False, False)
+
+
+def eliminate_redundant(
+    events: Sequence[CommEvent], run: Sequence[SNode]
+) -> List[CommEvent]:
+    """Drop exchanges whose data is already present and still clean.
+
+    ``events`` must be in program order (as produced by ``analyze_run``).
+    A cached border becomes stale when any nest rewrites its array.
+    """
+    nest_writes: List[Set[str]] = []
+    for node in run:
+        if isinstance(node, LoopNest):
+            nest_writes.append(
+                {stmt.target for stmt in node.body if not stmt.is_contracted}
+            )
+        else:
+            nest_writes.append(set())
+
+    clean: Set[Tuple[str, int, int, int]] = set()
+    result: List[CommEvent] = []
+    cursor = 0  # next nest whose writes have not yet invalidated borders
+    for event in events:
+        while cursor < event.nest_index:
+            stale = nest_writes[cursor]
+            if stale:
+                clean = {key for key in clean if key[0] not in stale}
+            cursor += 1
+        if event.key() in clean:
+            continue
+        clean.add(event.key())
+        result.append(event)
+    return result
+
+
+def combine_messages(
+    events: Sequence[CommEvent],
+) -> List[List[CommEvent]]:
+    """Group events into messages: one group = one wire message.
+
+    Events consumed by the same nest and headed to the same neighbor
+    (dimension, direction) share a message.  Without combining, every event
+    is its own group.
+    """
+    groups: Dict[Tuple[int, int, int], List[CommEvent]] = {}
+    order: List[Tuple[int, int, int]] = []
+    for event in events:
+        key = (event.nest_index, event.dim, event.direction)
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(event)
+    return [groups[key] for key in order]
+
+
+def singleton_messages(events: Sequence[CommEvent]) -> List[List[CommEvent]]:
+    return [[event] for event in events]
+
+
+def message_cost_us(
+    message: Sequence[CommEvent],
+    comm: CommParams,
+    compute_us_per_nest: Sequence[float],
+    pipelining: bool,
+) -> float:
+    """Cost of one message after optional pipelining overlap.
+
+    The overlappable portion (latency + transfer) hides behind the
+    computation of the nests strictly between the producer and the consumer;
+    software overhead always occupies the processor.
+    """
+    total_bytes = sum(event.bytes for event in message)
+    consumer = min(event.nest_index for event in message)
+    producers = [
+        event.producer_index for event in message if event.producer_index is not None
+    ]
+    if not pipelining:
+        return comm.message_cost_us(total_bytes)
+    if producers:
+        start = max(producers) + 1
+    else:
+        start = 0  # value came from outside the run: hoist to the run head
+    window = sum(compute_us_per_nest[start:consumer])
+    overlappable = comm.overlappable_us(total_bytes)
+    hidden = min(window, overlappable)
+    return comm.sw_overhead_us + (overlappable - hidden)
+
+
+def optimized_comm_cost_us(
+    events: Sequence[CommEvent],
+    run: Sequence[SNode],
+    comm: CommParams,
+    compute_us_per_nest: Sequence[float],
+    options: CommOptions,
+) -> float:
+    """Total communication time of a run under the given optimizations."""
+    working: Sequence[CommEvent] = list(events)
+    if options.redundancy_elimination:
+        working = eliminate_redundant(working, run)
+    if options.combining:
+        messages = combine_messages(working)
+    else:
+        messages = singleton_messages(working)
+    return sum(
+        message_cost_us(message, comm, compute_us_per_nest, options.pipelining)
+        for message in messages
+    )

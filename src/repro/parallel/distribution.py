@@ -1,0 +1,73 @@
+"""Block data distribution over a processor grid.
+
+The paper assumes every dimension of every array is (block-)distributed and
+a potential source of parallelism (Section 6).  For a rank-r region and p
+processors we use the most balanced factorization of p into r factors, as
+the ZPL runtime does.  With scaled problem sizes (Section 5.4: data per
+processor constant), the *local* block extents are independent of p, so one
+compiled local program serves every processor count.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.util.errors import MachineError
+
+
+def balanced_factorization(p: int, rank: int) -> Tuple[int, ...]:
+    """Factor ``p`` into ``rank`` factors as near-equal as possible.
+
+    Factors are assigned largest-first to the earliest dimensions, matching
+    the common convention of cutting the slowest-varying dimension most.
+    """
+    if p < 1:
+        raise MachineError("processor count must be positive, got %d" % p)
+    if rank < 1:
+        raise MachineError("rank must be positive, got %d" % rank)
+    factors = [1] * rank
+    remaining = p
+    divisor = 2
+    primes: List[int] = []
+    while divisor * divisor <= remaining:
+        while remaining % divisor == 0:
+            primes.append(divisor)
+            remaining //= divisor
+        divisor += 1
+    if remaining > 1:
+        primes.append(remaining)
+    for prime in sorted(primes, reverse=True):
+        smallest = min(range(rank), key=lambda i: factors[i])
+        factors[smallest] *= prime
+    factors.sort(reverse=True)
+    return tuple(factors)
+
+
+class ProcessorGrid:
+    """A rank-r grid of processors with block distribution."""
+
+    def __init__(self, p: int, rank: int) -> None:
+        self.p = p
+        self.rank = rank
+        self.shape = balanced_factorization(p, rank)
+
+    def is_cut(self, dim: int) -> bool:
+        """Is array dimension ``dim`` (1-based) split across processors?"""
+        return self.shape[dim - 1] > 1
+
+    def cut_dimensions(self) -> List[int]:
+        return [dim for dim in range(1, self.rank + 1) if self.is_cut(dim)]
+
+    def neighbor_count(self, dim: int) -> int:
+        """Neighbors of an interior processor along ``dim`` (0, 1 or 2)."""
+        if not self.is_cut(dim):
+            return 0
+        return 2 if self.shape[dim - 1] > 2 else 1
+
+    def __repr__(self) -> str:
+        return "ProcessorGrid(p=%d, %s)" % (self.p, "x".join(map(str, self.shape)))
+
+
+def scaled_global_extent(local_extent: int, p_along_dim: int) -> int:
+    """Global extent under scaled problem size."""
+    return local_extent * p_along_dim

@@ -1,0 +1,46 @@
+"""Scalarization: fusible clusters to loop nests, contraction to scalars."""
+
+from repro.scalarize.codegen_c import CGenerator, render_c
+from repro.scalarize.codegen_py import PyGenerator, execute_python, render_python
+from repro.scalarize.loopnest import (
+    ElemAssign,
+    LoopNest,
+    ReductionLoop,
+    SBoundary,
+    ScalarAssign,
+    ScalarProgram,
+    SeqLoop,
+    SIf,
+    SNode,
+    SWhile,
+    loop_variable,
+)
+from repro.scalarize.scalarizer import (
+    Scalarizer,
+    compile_program,
+    contraction_scalar,
+    scalarize,
+)
+
+__all__ = [
+    "CGenerator",
+    "ElemAssign",
+    "PyGenerator",
+    "execute_python",
+    "render_python",
+    "LoopNest",
+    "ReductionLoop",
+    "SBoundary",
+    "ScalarAssign",
+    "ScalarProgram",
+    "Scalarizer",
+    "SeqLoop",
+    "SIf",
+    "SNode",
+    "SWhile",
+    "compile_program",
+    "contraction_scalar",
+    "loop_variable",
+    "render_c",
+    "scalarize",
+]

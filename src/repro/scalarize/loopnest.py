@@ -1,0 +1,248 @@
+"""The scalarized (loop-level) program representation.
+
+Scalarization turns each fusible cluster into a single :class:`LoopNest`: a
+rank-n nest of element loops described by the cluster's region and loop
+structure vector, with one element assignment per statement.  Contracted
+arrays appear as plain scalars.  Reductions lower to accumulation nests.
+
+This IR is what the interpreters execute, the cache simulator traces, and
+the C code generator prints.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.ir.expr import IRExpr
+from repro.ir.region import Region
+from repro.util.vectors import IntVector
+
+
+def loop_variable(dimension: int) -> str:
+    """The canonical loop variable iterating over array dimension ``dimension``.
+
+    Dimensions are 1-based, matching loop structure vectors.
+    """
+    return "_i%d" % dimension
+
+
+class SNode:
+    """Base class for scalarized statements."""
+
+    __slots__ = ()
+
+
+class ElemAssign(SNode):
+    """One element assignment inside a loop nest body.
+
+    ``target`` is an array name (written at the loop indices) or ``None``
+    when the statement's target was contracted, in which case
+    ``scalar_target`` names the contraction scalar.  When ``reduce_op`` is
+    set the statement is a fused reduction step: the scalar target
+    accumulates ``rhs`` with that operator instead of being assigned.  The
+    right-hand side is an IR expression whose
+    :class:`~repro.ir.expr.ArrayRef` nodes denote elements at ``loop index +
+    offset`` and whose scalar reads may reference contraction scalars.
+    """
+
+    __slots__ = ("target", "scalar_target", "rhs", "reduce_op")
+
+    def __init__(
+        self,
+        target: Optional[str],
+        scalar_target: Optional[str],
+        rhs: IRExpr,
+        reduce_op: Optional[str] = None,
+    ) -> None:
+        if (target is None) == (scalar_target is None):
+            raise ValueError("exactly one of target/scalar_target required")
+        if reduce_op is not None and scalar_target is None:
+            raise ValueError("reductions accumulate into a scalar target")
+        self.target = target
+        self.scalar_target = scalar_target
+        self.rhs = rhs
+        self.reduce_op = reduce_op
+
+    @property
+    def is_contracted(self) -> bool:
+        return self.target is None
+
+    def __repr__(self) -> str:
+        name = self.target if self.target is not None else self.scalar_target
+        if self.reduce_op is not None:
+            return "ElemAssign(%s %s<<= %s)" % (name, self.reduce_op, self.rhs)
+        return "ElemAssign(%s := %s)" % (name, self.rhs)
+
+
+class LoopNest(SNode):
+    """A perfect rank-n loop nest over a region.
+
+    ``structure`` is the loop structure vector: loop ``l`` (outermost first)
+    iterates over array dimension ``|structure[l]|`` in the direction of its
+    sign.  The body executes once per index point, statements in order.
+    """
+
+    __slots__ = ("region", "structure", "body", "cluster_id")
+
+    def __init__(
+        self,
+        region: Region,
+        structure: IntVector,
+        body: List[ElemAssign],
+        cluster_id: int = -1,
+    ) -> None:
+        self.region = region
+        self.structure = tuple(structure)
+        self.body = body
+        self.cluster_id = cluster_id
+
+    @property
+    def rank(self) -> int:
+        return self.region.rank
+
+    def __repr__(self) -> str:
+        return "LoopNest(%s, p=%s, %d stmts)" % (
+            self.region,
+            self.structure,
+            len(self.body),
+        )
+
+
+class ReductionLoop(SNode):
+    """A reduction of an element-wise expression over a region to a scalar."""
+
+    __slots__ = ("target", "op", "region", "operand")
+
+    def __init__(self, target: str, op: str, region: Region, operand: IRExpr):
+        self.target = target
+        self.op = op
+        self.region = region
+        self.operand = operand
+
+    def __repr__(self) -> str:
+        return "ReductionLoop(%s := %s<< %s %s)" % (
+            self.target,
+            self.op,
+            self.region,
+            self.operand,
+        )
+
+
+class SBoundary(SNode):
+    """A halo fill: wrap (periodic) or reflect (mirror) outside a region."""
+
+    __slots__ = ("region", "kind", "array")
+
+    def __init__(self, region: Region, kind: str, array: str) -> None:
+        self.region = region
+        self.kind = kind
+        self.array = array
+
+    def __repr__(self) -> str:
+        return "SBoundary(%s %s %s)" % (self.region, self.kind, self.array)
+
+
+class ScalarAssign(SNode):
+    """A plain scalar assignment (no array content)."""
+
+    __slots__ = ("target", "rhs")
+
+    def __init__(self, target: str, rhs: IRExpr) -> None:
+        self.target = target
+        self.rhs = rhs
+
+    def __repr__(self) -> str:
+        return "ScalarAssign(%s := %s)" % (self.target, self.rhs)
+
+
+class SeqLoop(SNode):
+    """A sequential (source-level) counted loop."""
+
+    __slots__ = ("var", "lo", "hi", "downto", "body")
+
+    def __init__(
+        self, var: str, lo: IRExpr, hi: IRExpr, body: List[SNode], downto: bool
+    ) -> None:
+        self.var = var
+        self.lo = lo
+        self.hi = hi
+        self.downto = downto
+        self.body = body
+
+    def __repr__(self) -> str:
+        return "SeqLoop(%s, %d stmts)" % (self.var, len(self.body))
+
+
+class SIf(SNode):
+    """A scalar conditional."""
+
+    __slots__ = ("cond", "then_body", "else_body")
+
+    def __init__(self, cond: IRExpr, then_body: List[SNode], else_body: List[SNode]):
+        self.cond = cond
+        self.then_body = then_body
+        self.else_body = else_body
+
+    def __repr__(self) -> str:
+        return "SIf(%s)" % (self.cond,)
+
+
+class SWhile(SNode):
+    """A scalar while loop."""
+
+    __slots__ = ("cond", "body")
+
+    def __init__(self, cond: IRExpr, body: List[SNode]) -> None:
+        self.cond = cond
+        self.body = body
+
+    def __repr__(self) -> str:
+        return "SWhile(%s)" % (self.cond,)
+
+
+class ScalarProgram:
+    """A fully scalarized program, ready for execution or code generation."""
+
+    def __init__(
+        self,
+        name: str,
+        configs: Dict[str, object],
+        array_allocs: Dict[str, Tuple[Region, str]],
+        scalars: Dict[str, str],
+        body: List[SNode],
+        partial: Optional[Dict[str, Tuple[int, int]]] = None,
+    ) -> None:
+        self.name = name
+        self.configs = configs
+        #: name -> (allocation region including halo, element kind)
+        self.array_allocs = array_allocs
+        #: name -> kind, including contraction scalars
+        self.scalars = scalars
+        self.body = body
+        #: partially contracted arrays: name -> (dim, buffer depth); their
+        #: allocation region's dim is already the buffer [0..depth-1], and
+        #: indices along it are taken modulo depth
+        self.partial = dict(partial or {})
+
+    def loop_nests(self) -> List[LoopNest]:
+        """All loop nests in the program, in pre-order."""
+        result: List[LoopNest] = []
+
+        def visit(body: Sequence[SNode]) -> None:
+            for node in body:
+                if isinstance(node, LoopNest):
+                    result.append(node)
+                elif isinstance(node, SeqLoop):
+                    visit(node.body)
+                elif isinstance(node, SIf):
+                    visit(node.then_body)
+                    visit(node.else_body)
+                elif isinstance(node, SWhile):
+                    visit(node.body)
+
+        visit(self.body)
+        return result
+
+    def array_count(self) -> int:
+        """Number of arrays still requiring allocation."""
+        return len(self.array_allocs)

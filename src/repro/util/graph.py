@@ -1,0 +1,104 @@
+"""Generic directed-graph helpers: topological sort, reachability, cycles.
+
+The ASDG and the fusion machinery need only a handful of graph operations;
+implementing them here keeps those modules focused on compiler semantics.
+Graphs are represented as adjacency mappings ``{node: set(successors)}``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Set, TypeVar
+
+from repro.util.errors import ReproError
+
+N = TypeVar("N", bound=Hashable)
+
+
+class CycleError(ReproError):
+    """Raised when a topological sort encounters a cycle."""
+
+    def __init__(self, nodes: Iterable) -> None:
+        self.nodes = list(nodes)
+        super().__init__("graph contains a cycle among nodes: %r" % (self.nodes,))
+
+
+def topological_sort(nodes: Iterable[N], edges: Dict[N, Set[N]]) -> List[N]:
+    """Kahn's algorithm; stable with respect to the input node order.
+
+    ``edges[u]`` is the set of successors of ``u``.  Raises :class:`CycleError`
+    if the graph is cyclic.  Ties are broken by the position of the node in
+    ``nodes`` so that the output order is deterministic and respects the
+    original statement order where dependences allow.
+    """
+    import heapq
+
+    order = {node: i for i, node in enumerate(nodes)}
+    indegree = {node: 0 for node in order}
+    for u, succs in edges.items():
+        for v in succs:
+            if v in indegree:
+                indegree[v] += 1
+
+    heap = [order[node] for node, deg in indegree.items() if deg == 0]
+    heapq.heapify(heap)
+    by_index = {i: node for node, i in order.items()}
+    result: List[N] = []
+    while heap:
+        node = by_index[heapq.heappop(heap)]
+        result.append(node)
+        for succ in edges.get(node, ()):
+            if succ not in indegree:
+                continue
+            indegree[succ] -= 1
+            if indegree[succ] == 0:
+                heapq.heappush(heap, order[succ])
+    if len(result) != len(indegree):
+        done = set(result)
+        raise CycleError(n for n in order if n not in done)
+    return result
+
+
+def reachable_from(start: Iterable[N], edges: Dict[N, Set[N]]) -> Set[N]:
+    """All nodes reachable from any node in ``start`` (excluding trivial self)."""
+    seen: Set[N] = set()
+    stack = list(start)
+    while stack:
+        node = stack.pop()
+        for succ in edges.get(node, ()):
+            if succ not in seen:
+                seen.add(succ)
+                stack.append(succ)
+    return seen
+
+
+def reverse_edges(edges: Dict[N, Set[N]]) -> Dict[N, Set[N]]:
+    """The transpose graph."""
+    rev: Dict[N, Set[N]] = {}
+    for u, succs in edges.items():
+        rev.setdefault(u, set())
+        for v in succs:
+            rev.setdefault(v, set()).add(u)
+    return rev
+
+
+def has_cycle(nodes: Iterable[N], edges: Dict[N, Set[N]]) -> bool:
+    """True iff the graph restricted to ``nodes`` contains a cycle."""
+    try:
+        topological_sort(list(nodes), edges)
+    except CycleError:
+        return True
+    return False
+
+
+def on_paths_between(
+    sources: Set[N], targets: Set[N], edges: Dict[N, Set[N]]
+) -> Set[N]:
+    """Nodes lying on some path from a source to a target.
+
+    Returns nodes that are reachable from ``sources`` AND can reach
+    ``targets`` — exactly the nodes the paper's GROW function must absorb to
+    avoid inter-cluster cycles.
+    """
+    forward = reachable_from(sources, edges) | set(sources)
+    backward = reachable_from(targets, reverse_edges(edges)) | set(targets)
+    return forward & backward

@@ -1,0 +1,147 @@
+"""Small integer-vector arithmetic used throughout the compiler.
+
+Offsets, unconstrained distance vectors (UDVs), and loop structure vectors
+are all fixed-rank integer tuples.  This module centralizes their algebra so
+the rest of the compiler can treat them as values.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+IntVector = Tuple[int, ...]
+
+
+def vec(*components: int) -> IntVector:
+    """Build an integer vector from its components."""
+    return tuple(int(c) for c in components)
+
+
+def zero(rank: int) -> IntVector:
+    """The null vector of the given rank."""
+    if rank < 0:
+        raise ValueError("rank must be non-negative, got %d" % rank)
+    return (0,) * rank
+
+
+def is_zero(v: IntVector) -> bool:
+    """True iff every component of ``v`` is zero."""
+    return all(c == 0 for c in v)
+
+
+def add(a: IntVector, b: IntVector) -> IntVector:
+    """Component-wise sum of two vectors of equal rank."""
+    _check_ranks(a, b)
+    return tuple(x + y for x, y in zip(a, b))
+
+
+def sub(a: IntVector, b: IntVector) -> IntVector:
+    """Component-wise difference ``a - b`` of two vectors of equal rank."""
+    _check_ranks(a, b)
+    return tuple(x - y for x, y in zip(a, b))
+
+
+def negate(v: IntVector) -> IntVector:
+    """Component-wise negation."""
+    return tuple(-c for c in v)
+
+
+def lex_nonnegative(v: IntVector) -> bool:
+    """True iff ``v`` is lexicographically nonnegative.
+
+    A vector is lexicographically nonnegative if it is the null vector or its
+    leftmost non-zero component is positive (Section 2.2 of the paper).
+    """
+    for c in v:
+        if c > 0:
+            return True
+        if c < 0:
+            return False
+    return True
+
+
+def lex_positive(v: IntVector) -> bool:
+    """True iff the leftmost non-zero component of ``v`` is positive."""
+    for c in v:
+        if c > 0:
+            return True
+        if c < 0:
+            return False
+    return False
+
+
+def manhattan(v: IntVector) -> int:
+    """Sum of absolute component values."""
+    return sum(abs(c) for c in v)
+
+
+def constrain(u: IntVector, p: IntVector) -> IntVector:
+    """Constrain an unconstrained distance vector by a loop structure vector.
+
+    Given UDV ``u`` and loop structure vector ``p`` (a signed permutation of
+    ``(1, ..., n)``), the constrained distance vector ``d`` has
+    ``d_i = sign(p_i) * u_{|p_i|}`` — loop ``i`` iterates over array dimension
+    ``|p_i|`` in the direction of the sign of ``p_i`` (Definition 4).
+    """
+    _check_ranks(u, p)
+    d = []
+    for pi in p:
+        if pi == 0:
+            raise ValueError("loop structure vector may not contain 0: %r" % (p,))
+        dim = abs(pi) - 1
+        if dim >= len(u):
+            raise ValueError(
+                "loop structure vector %r names dimension %d beyond rank %d"
+                % (p, dim + 1, len(u))
+            )
+        sign = 1 if pi > 0 else -1
+        d.append(sign * u[dim])
+    return tuple(d)
+
+
+def is_loop_structure_vector(p: IntVector) -> bool:
+    """True iff ``p`` is a signed permutation of ``(1, ..., n)``."""
+    n = len(p)
+    seen = set()
+    for pi in p:
+        if pi == 0 or abs(pi) > n:
+            return False
+        seen.add(abs(pi))
+    return len(seen) == n
+
+
+def identity_loop_structure(rank: int) -> IntVector:
+    """The loop structure vector ``(1, 2, ..., n)``: row-major forward loops."""
+    return tuple(range(1, rank + 1))
+
+
+def format_vector(v: IntVector) -> str:
+    """Render a vector as ``(a, b, ...)``."""
+    return "(" + ", ".join(str(c) for c in v) + ")"
+
+
+def parse_vector(text: str) -> IntVector:
+    """Parse ``(a, b, ...)`` or ``a, b, ...`` into a vector."""
+    body = text.strip()
+    if body.startswith("(") and body.endswith(")"):
+        body = body[1:-1]
+    if not body.strip():
+        return ()
+    return tuple(int(part.strip()) for part in body.split(","))
+
+
+def max_abs_per_dim(vectors: Iterable[IntVector]) -> IntVector:
+    """Component-wise maximum of absolute values across a set of vectors."""
+    result: list = []
+    for v in vectors:
+        if not result:
+            result = [abs(c) for c in v]
+            continue
+        _check_ranks(tuple(result), v)
+        result = [max(r, abs(c)) for r, c in zip(result, v)]
+    return tuple(result)
+
+
+def _check_ranks(a: IntVector, b: IntVector) -> None:
+    if len(a) != len(b):
+        raise ValueError("rank mismatch: %r vs %r" % (a, b))

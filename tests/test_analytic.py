@@ -1,0 +1,115 @@
+"""Unit tests for the analytic cache model."""
+
+import pytest
+
+from repro.fusion import BASELINE, C2, plan_program
+from repro.ir import normalize_source
+from repro.machine import CRAY_T3E, IBM_SP2, estimate_analytic, estimate_sequential
+from repro.machine.analytic import _LevelState, effective_capacity
+from repro.machine.cache import CacheConfig
+from repro.scalarize import compile_program
+
+
+class TestEffectiveCapacity:
+    def test_direct_mapped_halved(self):
+        config = CacheConfig(8192, 32, 1, 10)
+        assert effective_capacity(config) == 4096
+
+    def test_associative_nearly_full(self):
+        config = CacheConfig(8192, 32, 4, 10)
+        assert effective_capacity(config) == pytest.approx(8192 * 0.9)
+
+
+class TestLevelState:
+    def make(self):
+        return _LevelState(CacheConfig(1024, 32, 2, 10))
+
+    def test_first_touch_misses(self):
+        state = self.make()
+        assert not state.touch("A", 256)
+
+    def test_immediate_reuse_hits(self):
+        state = self.make()
+        state.touch("A", 256)
+        assert state.touch("A", 256)
+
+    def test_reuse_through_small_interleaving(self):
+        state = self.make()
+        state.touch("A", 256)
+        state.touch("B", 256)
+        assert state.touch("A", 256)
+
+    def test_capacity_eviction(self):
+        state = self.make()
+        state.touch("A", 400)
+        state.touch("B", 400)
+        state.touch("C", 400)  # pushes A beyond ~922 effective bytes
+        assert not state.touch("A", 400)
+
+    def test_lru_refresh(self):
+        state = self.make()
+        state.touch("A", 300)
+        state.touch("B", 300)
+        state.touch("A", 300)  # refresh A
+        state.touch("C", 300)  # B is now the distant one
+        assert state.touch("A", 300)
+
+
+class TestAgainstSimulation:
+    SOURCE = """
+program m;
+config n : integer = 48;
+region R = [1..n, 1..n];
+var A, B, C, D : [R] float;
+var s : float;
+begin
+  [R] B := A * 2.0;
+  [R] C := B + A;
+  [R] D := C * B;
+  s := +<< [R] D;
+end;
+"""
+
+    def costs(self, machine, level):
+        program = normalize_source(self.SOURCE)
+        scalar_program = compile_program(program, level)
+        return (
+            estimate_sequential(scalar_program, machine),
+            estimate_analytic(scalar_program, machine),
+        )
+
+    @pytest.mark.parametrize("machine", [CRAY_T3E, IBM_SP2], ids=lambda m: m.name)
+    def test_nonmiss_counts_identical(self, machine):
+        trace, quick = self.costs(machine, BASELINE)
+        assert trace.counts.loads == quick.counts.loads
+        assert trace.counts.stores == quick.counts.stores
+        assert trace.counts.flops == quick.counts.flops
+        assert trace.counts.points == quick.counts.points
+
+    def test_ordering_preserved(self):
+        trace_base, quick_base = self.costs(CRAY_T3E, BASELINE)
+        trace_opt, quick_opt = self.costs(CRAY_T3E, C2)
+        assert trace_opt.counts.misses[0] < trace_base.counts.misses[0]
+        assert quick_opt.counts.misses[0] < quick_base.counts.misses[0]
+        assert quick_opt.cycles < quick_base.cycles
+
+    def test_l2_never_exceeds_l1(self):
+        _trace, quick = self.costs(CRAY_T3E, BASELINE)
+        assert quick.counts.misses[1] <= quick.counts.misses[0]
+
+    def test_contracted_program_zero_misses(self):
+        source = """
+program z;
+config n : integer = 16;
+region R = [1..n, 1..n];
+var A, B : [R] float;
+var s : float;
+begin
+  [R] A := Index1 * 1.0;
+  [R] B := A * A;
+  s := +<< [R] B;
+end;
+"""
+        program = normalize_source(source)
+        quick = estimate_analytic(compile_program(program, C2), CRAY_T3E)
+        assert quick.counts.misses[0] == 0

@@ -1,0 +1,52 @@
+"""Tests for the top-level public API (``repro.compile_source``)."""
+
+import numpy as np
+
+import repro
+from repro.interp import run_reference, run_scalarized
+from repro.ir import normalize_source
+
+SOURCE = """
+program api;
+config n : integer = 6;
+region R = [1..n, 1..n];
+var A, B : [R] float;
+var total : float;
+begin
+  [R] A := Index1 * 1.0 + Index2;
+  [R] B := A * 2.0;
+  total := +<< [R] B;
+end;
+"""
+
+
+class TestCompileSource:
+    def test_default_level_is_c2(self):
+        scalar_program, plan = repro.compile_source(SOURCE)
+        assert plan.level.name == "c2"
+        assert "B" in plan.contracted_arrays()
+
+    def test_level_override(self):
+        scalar_program, plan = repro.compile_source(SOURCE, level=repro.BASELINE)
+        assert plan.contracted_arrays() == set()
+        assert scalar_program.array_count() == 2
+
+    def test_config_override(self):
+        scalar_program, _plan = repro.compile_source(
+            SOURCE, level=repro.BASELINE, config={"n": 10}
+        )
+        region, _kind = scalar_program.array_allocs["A"]
+        assert region.concrete_bounds({})[0] == (1, 10)
+
+    def test_result_executes_correctly(self):
+        scalar_program, _plan = repro.compile_source(SOURCE)
+        reference = run_reference(normalize_source(SOURCE))
+        result = run_scalarized(scalar_program)
+        assert np.isclose(
+            float(result.scalars["total"]), float(reference.scalars["total"])
+        )
+
+    def test_version_and_exports(self):
+        assert repro.__version__
+        for name in ("C2", "C2F3", "C2P", "plan_program", "render_c"):
+            assert hasattr(repro, name), name

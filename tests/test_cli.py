@@ -1,0 +1,119 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+SOURCE = """
+program clidemo;
+config n : integer = 6;
+region R = [1..n, 1..n];
+var A, B : [R] float;
+var total : float;
+begin
+  [R] A := Index1 * 2.0;
+  [R] B := A@(0,1) + A;
+  total := +<< [R] B;
+end;
+"""
+
+
+@pytest.fixture
+def source_file(tmp_path):
+    path = tmp_path / "demo.zpl"
+    path.write_text(SOURCE)
+    return str(path)
+
+
+class TestCompile:
+    def test_emit_c(self, source_file, capsys):
+        assert main(["compile", source_file, "--emit", "c"]) == 0
+        out = capsys.readouterr().out
+        assert "clidemo_main" in out
+        assert "for (_i1" in out
+
+    def test_emit_ir(self, source_file, capsys):
+        assert main(["compile", source_file, "--emit", "ir"]) == 0
+        assert "normalized" in capsys.readouterr().out
+
+    def test_emit_asdg(self, source_file, capsys):
+        assert main(["compile", source_file, "--emit", "asdg"]) == 0
+        assert "ASDG" in capsys.readouterr().out
+
+    def test_emit_plan(self, source_file, capsys):
+        assert main(["compile", source_file, "--emit", "plan"]) == 0
+        out = capsys.readouterr().out
+        assert "FusionPartition" in out
+        assert "surviving arrays" in out
+
+    def test_emit_python(self, source_file, capsys):
+        assert main(["compile", source_file, "--emit", "py"]) == 0
+        assert "def run():" in capsys.readouterr().out
+
+    def test_level_selection(self, source_file, capsys):
+        assert main(
+            ["compile", source_file, "--emit", "plan", "--level", "baseline"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "contracted: []" in out
+
+    def test_bad_level(self, source_file):
+        with pytest.raises(SystemExit):
+            main(["compile", source_file, "--level", "c9"])
+
+    def test_config_override(self, source_file, capsys):
+        assert main(
+            ["compile", source_file, "--emit", "ir", "--config", "n=12"]
+        ) == 0
+        assert "n = 12" in capsys.readouterr().out
+
+    def test_bad_config(self, source_file):
+        with pytest.raises(SystemExit):
+            main(["compile", source_file, "--config", "n:12"])
+
+
+class TestRun:
+    def test_interp_backend(self, source_file, capsys):
+        assert main(["run", source_file]) == 0
+        out = capsys.readouterr().out
+        assert "total = " in out
+
+    def test_codegen_backend_agrees(self, source_file, capsys):
+        main(["run", source_file])
+        interp_out = capsys.readouterr().out
+        main(["run", source_file, "--backend", "codegen"])
+        codegen_out = capsys.readouterr().out
+        assert interp_out == codegen_out
+
+
+class TestEstimate:
+    def test_sequential(self, source_file, capsys):
+        assert main(["estimate", source_file, "--machine", "t3e"]) == 0
+        out = capsys.readouterr().out
+        assert "Cray T3E" in out
+        assert "cycles" in out
+
+    def test_parallel(self, source_file, capsys):
+        assert main(
+            ["estimate", source_file, "--machine", "paragon", "--p", "16"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "processors     : 16" in out
+
+
+class TestFigures:
+    def test_fig6(self, capsys):
+        assert main(["figures", "fig6"]) == 0
+        assert "ZPL 1.13" in capsys.readouterr().out
+
+
+class TestErrors:
+    def test_missing_file(self, capsys):
+        assert main(["compile", "/nonexistent/file.zpl"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_bad_source(self, tmp_path, capsys):
+        path = tmp_path / "bad.zpl"
+        path.write_text("program broken")
+        assert main(["compile", str(path)]) == 1
+        assert "error" in capsys.readouterr().err

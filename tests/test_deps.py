@@ -1,0 +1,179 @@
+"""Tests for dependence analysis and the ASDG (Definitions 2-3)."""
+
+import pytest
+
+from repro.deps import ASDG, DepLabel, DepType, build_asdg
+from repro.ir import normalize_source
+from repro.util.errors import DependenceError
+
+TEMPLATE = """
+program p;
+config n : integer = 4;
+config m : integer = 4;
+region R = [1..m, 1..n];
+var A, B, C, D : [R] float;
+var s : float;
+var i : integer;
+begin
+%s
+end;
+"""
+
+
+def asdg_for(body, policy="always"):
+    program = normalize_source(TEMPLATE % body, None, policy)
+    blocks = list(program.blocks())
+    return build_asdg(blocks[0])
+
+
+def labels_between(graph, i, j):
+    return graph.labels(graph.statements[i], graph.statements[j])
+
+
+class TestFigure2:
+    """The paper's worked example (Section 2.2 / Figure 2)."""
+
+    BODY = """
+  [R] A := B@(-1,0);
+  [R] C := A@(0,-1);
+  [R] B := A@(-1,1);
+"""
+
+    def test_edge_set(self):
+        graph = asdg_for(self.BODY)
+        assert graph.edge_count() == 2
+
+    def test_flow_udvs_for_a(self):
+        graph = asdg_for(self.BODY)
+        assert DepLabel("A", (0, 1), DepType.FLOW) in labels_between(graph, 0, 1)
+        assert DepLabel("A", (1, -1), DepType.FLOW) in labels_between(graph, 0, 2)
+
+    def test_anti_udv_for_b(self):
+        graph = asdg_for(self.BODY)
+        assert DepLabel("B", (-1, 0), DepType.ANTI) in labels_between(graph, 0, 2)
+
+    def test_dependences_on(self):
+        graph = asdg_for(self.BODY)
+        assert len(graph.dependences_on("A")) == 2
+        assert len(graph.dependences_on("B")) == 1
+        assert graph.dependences_on("D") == []
+
+
+class TestDependenceKinds:
+    def test_flow(self):
+        graph = asdg_for("[R] A := B;\n[R] C := A;")
+        (label,) = labels_between(graph, 0, 1)
+        assert label.type is DepType.FLOW
+        assert label.udv == (0, 0)
+
+    def test_anti(self):
+        graph = asdg_for("[R] C := A@(1,0);\n[R] A := B;")
+        (label,) = labels_between(graph, 0, 1)
+        assert label.type is DepType.ANTI
+        assert label.udv == (1, 0)
+
+    def test_output(self):
+        graph = asdg_for("[R] A := B;\n[R] A := C;")
+        (label,) = labels_between(graph, 0, 1)
+        assert label.type is DepType.OUTPUT
+        assert label.udv == (0, 0)
+
+    def test_read_read_is_not_a_dependence(self):
+        graph = asdg_for("[R] B := A;\n[R] C := A;")
+        assert graph.edge_count() == 0
+
+    def test_multiple_labels_on_one_edge(self):
+        graph = asdg_for("[R] A := B@(0,1);\n[R] B := A;")
+        labels = labels_between(graph, 0, 1)
+        types = {label.type for label in labels}
+        assert types == {DepType.FLOW, DepType.ANTI}
+
+
+class TestRegionAwareness:
+    def test_disjoint_rows_no_dependence(self):
+        # Row i written, row i-1 read within the same iteration: disjoint.
+        graph = asdg_for(
+            "for i := 2 to m do\n"
+            "  [i, 1..n] A := D@(-1,0);\n"
+            "  [i, 1..n] D := B;\n"
+            "end;"
+        )
+        assert labels_between(graph, 0, 1) == []
+
+    def test_same_row_dependence(self):
+        graph = asdg_for(
+            "for i := 2 to m do\n"
+            "  [i, 1..n] A := B;\n"
+            "  [i, 1..n] D := A;\n"
+            "end;"
+        )
+        (label,) = labels_between(graph, 0, 1)
+        assert label.type is DepType.FLOW
+
+    def test_overlapping_subregions(self):
+        graph = asdg_for(
+            "[1..2, 1..n] A := B;\n[2..3, 1..n] C := A;"
+        )
+        assert len(labels_between(graph, 0, 1)) == 1
+
+
+class TestScalarDeps:
+    def test_reduction_result_read_later(self):
+        graph = asdg_for("s := +<< [R] A;\n[R] B := A * s;")
+        (label,) = labels_between(graph, 0, 1)
+        assert label.type is DepType.SCALAR
+        assert label.variable == "s"
+
+    def test_two_reductions_independent(self):
+        graph = asdg_for("s := +<< [R] A;\ns := s + 0.0;")
+        # Second statement is a ScalarStatement -> separate block; use two
+        # reductions into different scalars instead.
+        graph = asdg_for("[R] B := A;\ns := +<< [R] B;")
+        (label,) = labels_between(graph, 0, 1)
+        assert label.type is DepType.FLOW
+
+
+class TestSelfDeps:
+    def test_self_dependence_recorded(self):
+        graph = asdg_for("[R] A := A@(-1,0) + B;", policy="reversal")
+        stmt = graph.statements[0]
+        (label,) = graph.self_labels(stmt)
+        assert label.udv == (-1, 0)
+        assert label.type is DepType.ANTI
+
+    def test_no_self_dependence_with_temp(self):
+        graph = asdg_for("[R] A := A@(-1,0) + B;", policy="always")
+        assert all(not graph.self_labels(stmt) for stmt in graph.statements)
+
+    def test_self_dependence_in_dependences_on(self):
+        graph = asdg_for("[R] A := A@(-1,0);", policy="reversal")
+        deps = graph.dependences_on("A")
+        assert len(deps) == 1
+        source, target, _label = deps[0]
+        assert source is target
+
+
+class TestASDGStructure:
+    def test_backward_edge_rejected(self):
+        graph = asdg_for("[R] A := B;\n[R] C := A;")
+        with pytest.raises(DependenceError):
+            graph.add_dependence(
+                graph.statements[1],
+                graph.statements[0],
+                DepLabel("A", (0, 0), DepType.FLOW),
+            )
+
+    def test_variables_in_first_use_order(self):
+        graph = asdg_for("[R] B := A;\n[R] C := D;")
+        assert graph.variables() == ["B", "A", "C", "D"]
+
+    def test_statements_referencing(self):
+        graph = asdg_for("[R] B := A;\n[R] C := A + B;")
+        assert len(graph.statements_referencing("A")) == 2
+        assert len(graph.statements_referencing("B")) == 2
+        assert len(graph.statements_referencing("C")) == 1
+
+    def test_render_smoke(self):
+        text = asdg_for("[R] A := B;\n[R] C := A;").render()
+        assert "flow" in text
+        assert "v1 -> v2" in text

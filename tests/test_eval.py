@@ -1,0 +1,177 @@
+"""Tests for the experiment harnesses (Figures 7-11, Section 5.5).
+
+These run the real harnesses at reduced problem sizes and assert the
+*qualitative* claims of the paper rather than absolute numbers.
+"""
+
+import pytest
+
+from repro.benchsuite import ALL_BENCHMARKS, get_benchmark
+from repro.eval import (
+    figure7_rows,
+    figure8_rows,
+    interaction_sweep,
+    measure_benchmark,
+    policy_slowdown,
+    render_figure7,
+    render_figure8,
+    render_interaction,
+    render_runtime_figure,
+)
+from repro.eval.memory import max_problem_size
+from repro.fusion import BASELINE, C2
+from repro.machine import CRAY_T3E, IBM_SP2
+
+SMALL = {"n": 16, "m": 16}
+
+
+class TestFigure7:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return figure7_rows()
+
+    def test_every_benchmark_has_a_row(self, rows):
+        assert {row.name for row in rows} == {b.name for b in ALL_BENCHMARKS}
+
+    def test_all_compiler_temps_eliminated(self, rows):
+        for row in rows:
+            assert row.all_compiler_temps_eliminated, row.name
+
+    def test_ep_reaches_zero(self, rows):
+        ep = next(row for row in rows if row.name == "EP")
+        assert ep.after == 0
+        assert ep.percent_change == -100.0
+
+    def test_contraction_reduces_everywhere(self, rows):
+        for row in rows:
+            assert row.after < row.before
+
+    def test_tomcatv_matches_scalar_version(self, rows):
+        tomcatv = next(row for row in rows if row.name == "Tomcatv")
+        assert tomcatv.after == tomcatv.scalar_language == 7
+
+    def test_render(self, rows):
+        text = render_figure7(rows)
+        assert "Figure 7" in text
+        assert "EP" in text
+
+
+class TestFigure8:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return figure8_rows(budget_bytes=1 * 1024 * 1024)
+
+    def test_c_metric(self, rows):
+        for row in rows:
+            if row.la:
+                assert row.c_percent == pytest.approx(
+                    100.0 * (row.lb / row.la - 1.0)
+                )
+
+    def test_ep_unbounded(self, rows):
+        ep = next(row for row in rows if row.name == "EP")
+        assert ep.unbounded
+
+    def test_c_predicts_measured_volume(self, rows):
+        """The paper's claim: C accurately predicts the volume change."""
+        for row in rows:
+            if row.unbounded or row.c_percent is None:
+                continue
+            assert row.volume_change_percent == pytest.approx(
+                row.c_percent, rel=0.15
+            ), row.name
+
+    def test_problem_size_grows(self, rows):
+        for row in rows:
+            if not row.unbounded:
+                assert row.size_after > row.size_before
+
+    def test_max_problem_size_monotone_in_budget(self):
+        bench = get_benchmark("Tomcatv")
+        small = max_problem_size(bench, BASELINE, budget_bytes=256 * 1024)
+        large = max_problem_size(bench, BASELINE, budget_bytes=1024 * 1024)
+        assert small < large
+
+    def test_render(self, rows):
+        text = render_figure8(rows)
+        assert "Figure 8" in text
+        assert "unbounded" in text
+
+
+class TestRuntime:
+    @pytest.fixture(scope="class")
+    def ep_result(self):
+        return measure_benchmark(
+            get_benchmark("EP"),
+            CRAY_T3E,
+            processor_counts=(1, 4),
+            config={"n": 16, "m": 16, "batches": 1},
+            sample_iterations=1,
+        )
+
+    @pytest.fixture(scope="class")
+    def tomcatv_result(self):
+        # Full local size: the f2/f3 cache-pressure slowdown only appears
+        # once the fused working set overflows the T3E's caches.
+        return measure_benchmark(
+            get_benchmark("Tomcatv"),
+            CRAY_T3E,
+            processor_counts=(1, 4),
+            config={"n": 64, "m": 64, "steps": 1},
+            sample_iterations=1,
+        )
+
+    def test_c2_dominates_baseline(self, ep_result, tomcatv_result):
+        for result in (ep_result, tomcatv_result):
+            assert result.improvement("c2", 1) > 20.0
+            assert result.improvement("c2", 4) > 20.0
+
+    def test_ep_indifferent_to_compiler_contraction(self, ep_result):
+        assert ep_result.improvement("f1", 1) == pytest.approx(0.0, abs=0.1)
+        assert ep_result.improvement("c1", 1) == pytest.approx(0.0, abs=0.1)
+
+    def test_tomcatv_c1_helps_but_less_than_c2(self, tomcatv_result):
+        c1 = tomcatv_result.improvement("c1", 1)
+        c2 = tomcatv_result.improvement("c2", 1)
+        assert 0.0 < c1 < c2
+
+    def test_fusion_without_contraction_hurts_tomcatv(self, tomcatv_result):
+        assert tomcatv_result.improvement("f2", 1) < 0.0
+
+    def test_render(self, ep_result):
+        text = render_runtime_figure(
+            CRAY_T3E, {"EP": ep_result}, processor_counts=(1, 4)
+        )
+        assert "Cray T3E" in text
+        assert "c2+f4" in text
+
+
+class TestInteraction:
+    def test_no_comm_benchmarks_unaffected(self):
+        for name in ("EP", "Frac"):
+            slowdown = policy_slowdown(
+                get_benchmark(name),
+                CRAY_T3E,
+                p=16,
+                config={"n": 16, "m": 16},
+                sample_iterations=1,
+            )
+            assert slowdown == pytest.approx(0.0, abs=0.5), name
+
+    def test_stencil_benchmarks_slow_down(self):
+        slowdown = policy_slowdown(
+            get_benchmark("Tomcatv"),
+            IBM_SP2,
+            p=16,
+            config={"n": 40, "m": 40, "steps": 1},
+            sample_iterations=1,
+        )
+        assert slowdown > 0.0
+
+    def test_render(self):
+        results = {
+            "Cray T3E": {"Tomcatv": 12.0, "EP": 0.0},
+        }
+        text = render_interaction(results)
+        assert "Section 5.5" in text
+        assert "Tomcatv" in text

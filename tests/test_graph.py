@@ -1,0 +1,113 @@
+"""Tests for the generic graph helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.graph import (
+    CycleError,
+    has_cycle,
+    on_paths_between,
+    reachable_from,
+    reverse_edges,
+    topological_sort,
+)
+
+
+class TestTopologicalSort:
+    def test_empty(self):
+        assert topological_sort([], {}) == []
+
+    def test_chain(self):
+        nodes = ["a", "b", "c"]
+        edges = {"a": {"b"}, "b": {"c"}}
+        assert topological_sort(nodes, edges) == ["a", "b", "c"]
+
+    def test_respects_input_order_on_ties(self):
+        nodes = ["x", "y", "z"]
+        assert topological_sort(nodes, {}) == ["x", "y", "z"]
+
+    def test_dependence_overrides_order(self):
+        nodes = ["x", "y"]
+        edges = {"y": {"x"}}
+        assert topological_sort(nodes, edges) == ["y", "x"]
+
+    def test_cycle_raises(self):
+        with pytest.raises(CycleError):
+            topological_sort(["a", "b"], {"a": {"b"}, "b": {"a"}})
+
+    def test_self_loop_raises(self):
+        with pytest.raises(CycleError):
+            topological_sort(["a"], {"a": {"a"}})
+
+    def test_ignores_edges_to_unknown_nodes(self):
+        assert topological_sort(["a"], {"a": {"ghost"}}) == ["a"]
+
+    @given(
+        st.integers(2, 8).flatmap(
+            lambda n: st.tuples(
+                st.just(n),
+                st.sets(
+                    st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+                    max_size=12,
+                ),
+            )
+        )
+    )
+    def test_output_respects_all_edges(self, data):
+        n, raw_edges = data
+        # Force acyclicity: only forward edges.
+        edges = {}
+        for u, v in raw_edges:
+            if u < v:
+                edges.setdefault(u, set()).add(v)
+        order = topological_sort(list(range(n)), edges)
+        position = {node: i for i, node in enumerate(order)}
+        assert sorted(order) == list(range(n))
+        for u, succs in edges.items():
+            for v in succs:
+                assert position[u] < position[v]
+
+
+class TestReachability:
+    def test_reachable_from(self):
+        edges = {1: {2}, 2: {3}, 4: {5}}
+        assert reachable_from([1], edges) == {2, 3}
+
+    def test_reachable_excludes_start_unless_cycle(self):
+        edges = {1: {2}, 2: {1}}
+        assert reachable_from([1], edges) == {1, 2}
+
+    def test_reverse_edges(self):
+        edges = {1: {2, 3}, 2: {3}}
+        rev = reverse_edges(edges)
+        assert rev[3] == {1, 2}
+        assert rev[2] == {1}
+        assert rev[1] == set()
+
+
+class TestHasCycle:
+    def test_acyclic(self):
+        assert not has_cycle([1, 2], {1: {2}})
+
+    def test_cyclic(self):
+        assert has_cycle([1, 2], {1: {2}, 2: {1}})
+
+
+class TestOnPathsBetween:
+    def test_diamond(self):
+        edges = {1: {2, 3}, 2: {4}, 3: {4}}
+        # Nodes on paths from {1} to {4}: all of them.
+        assert on_paths_between({1}, {4}, edges) == {1, 2, 3, 4}
+
+    def test_grow_use_case(self):
+        # The GROW scenario: fusing {1, 4} must absorb the intermediary 2
+        # (1 -> 2 -> 4) but not the unrelated 3.
+        edges = {1: {2}, 2: {4}, 3: {4}}
+        result = on_paths_between({1, 4}, {1, 4}, edges)
+        assert 2 in result
+        assert 3 not in result
+
+    def test_no_path(self):
+        edges = {1: set(), 2: set()}
+        assert on_paths_between({1}, {2}, edges) == set()

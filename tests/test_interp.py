@@ -1,0 +1,154 @@
+"""Unit tests for the two interpreters."""
+
+import numpy as np
+import pytest
+
+from repro.fusion import BASELINE, C2, plan_program
+from repro.interp import run_reference, run_scalarized
+from repro.ir import normalize_source
+from repro.scalarize import compile_program
+from repro.util.errors import InterpError
+
+TEMPLATE = """
+program p;
+config n : integer = 5;
+region R = [1..n, 1..n];
+var A, B, C : [R] float;
+var V : [1..n] float;
+var s : float;
+var i : integer;
+var flag : boolean;
+begin
+%s
+end;
+"""
+
+
+def reference(body, **overrides):
+    return run_reference(normalize_source(TEMPLATE % body, overrides or None))
+
+
+def scalarized(body, level=BASELINE, **overrides):
+    program = normalize_source(TEMPLATE % body, overrides or None)
+    return run_scalarized(compile_program(program, level))
+
+
+class TestReferenceSemantics:
+    def test_constant_fill(self):
+        storage = reference("[R] A := 2.5;")
+        interior = storage.region_view("A", ((1, 5), (1, 5)))
+        assert np.all(interior == 2.5)
+
+    def test_index_arrays(self):
+        storage = reference("[R] A := Index1 * 10 + Index2;")
+        view = storage.region_view("A", ((1, 5), (1, 5)))
+        assert view[0, 0] == 11
+        assert view[2, 3] == 34
+
+    def test_offsets_read_halo_zeros(self):
+        storage = reference("[R] A := 1.0;\n[R] B := A@(-1,0);")
+        view = storage.region_view("B", ((1, 5), (1, 5)))
+        assert np.all(view[0, :] == 0.0)  # row 0 of A is halo
+        assert np.all(view[1:, :] == 1.0)
+
+    def test_rhs_fully_evaluated_before_assignment(self):
+        # Array semantics: A := A@(-1,0) uses the OLD values of A.
+        storage = reference("[R] A := Index1 * 1.0;\n[R] A := A@(-1,0);")
+        view = storage.region_view("A", ((1, 5), (1, 5)))
+        assert view[1, 0] == 1.0  # old A[1], not the freshly written 0
+
+    def test_reduction_ops(self):
+        storage = reference(
+            "[R] A := Index1 * 1.0;\ns := max<< [R] A;"
+        )
+        assert storage.scalars["s"] == 5.0
+
+    def test_for_loop_dynamic_region(self):
+        storage = reference(
+            "for i := 1 to n do [i, 1..n] A := i * 1.0; end;"
+        )
+        view = storage.region_view("A", ((1, 5), (1, 5)))
+        assert np.all(view[3, :] == 4.0)
+
+    def test_downto(self):
+        storage = reference(
+            "s := 0.0;\nfor i := n downto 1 do s := s * 10.0 + i; end;"
+        )
+        assert storage.scalars["s"] == 54321.0
+
+    def test_while_and_if(self):
+        storage = reference(
+            "i := 0;\nwhile i < 4 do i := i + 1; end;"
+            "\nif i = 4 then s := 1.0; else s := 2.0; end;"
+        )
+        assert storage.scalars["i"] == 4
+        assert storage.scalars["s"] == 1.0
+
+    def test_boolean_scalars(self):
+        storage = reference("flag := 1 < 2 and not (3 < 2);")
+        assert bool(storage.scalars["flag"]) is True
+
+    def test_integer_arithmetic(self):
+        storage = reference("i := (7 % 3) * 4;")
+        assert storage.scalars["i"] == 4
+
+    def test_empty_dynamic_region_skipped(self):
+        storage = reference(
+            "i := 9;\n[R] A := 1.0;"
+        )
+        # A region [i..i, ...] with i beyond bounds would raise; a statically
+        # empty region is simply skipped.
+        program = normalize_source(
+            TEMPLATE % "[2..1, 1..n] A := 1.0;\ns := +<< [R] A;"
+        )
+        result = run_reference(program)
+        assert result.scalars["s"] == 0.0
+
+
+class TestScalarizedExecution:
+    def test_matches_reference_simple(self):
+        body = "[R] A := Index1 + Index2 * 2.0;\n[R] B := A@(0,-1) * 0.5;"
+        ref = reference(body)
+        sca = scalarized(body)
+        assert np.array_equal(ref.arrays["A"], sca.arrays["A"])
+        assert np.array_equal(ref.arrays["B"], sca.arrays["B"])
+
+    def test_contracted_execution(self):
+        body = "[R] B := Index1 * 1.0;\n[R] C := B * B;\ns := +<< [R] C;"
+        ref = reference(body)
+        sca = scalarized(body, C2)
+        assert "B" not in sca.arrays
+        assert np.isclose(float(sca.scalars["s"]), float(ref.scalars["s"]))
+
+    def test_reversed_loop_execution(self):
+        # Self-update requiring reversal: A(i) := A(i-1) must read old rows.
+        body = "[R] A := Index1 * 1.0;\n[R] A := A@(-1,0) + 100.0;"
+        ref = reference(body)
+        sca = scalarized(body, C2)
+        assert np.array_equal(ref.arrays["A"], sca.arrays["A"])
+
+    def test_rank1_arrays(self):
+        body = "[1..n] V := Index1 * 3.0;\ns := +<< [1..n] V;"
+        ref = reference(body)
+        sca = scalarized(body)
+        assert float(sca.scalars["s"]) == float(ref.scalars["s"]) == 45.0
+
+
+class TestErrors:
+    def test_out_of_storage_slice(self):
+        from repro.interp import Storage
+        from repro.ir import Region
+
+        storage = Storage()
+        storage.allocate_array("A", Region.literal((1, 4), (1, 4)), "float")
+        with pytest.raises(InterpError, match="escapes"):
+            storage.slice_view("A", ((1, 4), (1, 4)), (3, 0))
+
+    def test_step_limit(self):
+        program = normalize_source(TEMPLATE % "while 1 < 2 do i := i + 1; end;")
+        from repro.interp import ArrayInterpreter
+
+        interp = ArrayInterpreter(program)
+        interp._max_steps = 1000
+        with pytest.raises(InterpError, match="step limit"):
+            interp.run()

@@ -1,0 +1,157 @@
+"""Unit tests for IR expression utilities, program queries and errors."""
+
+import pytest
+
+from repro.ir import (
+    ArrayRef,
+    BinOp,
+    Call,
+    Const,
+    IndexRef,
+    Reduce,
+    Region,
+    ScalarRef,
+    UnOp,
+    collect_ref_tuples,
+    normalize_source,
+    substitute_refs,
+)
+from repro.util.errors import (
+    LexError,
+    ParseError,
+    ReproError,
+    SemanticError,
+    SourceLocation,
+)
+
+
+class TestExprUtilities:
+    def sample(self):
+        return BinOp(
+            "+",
+            ArrayRef("A", (0, 1)),
+            Call("sqrt", (BinOp("*", ArrayRef("B", (0, 0)), ScalarRef("s")),)),
+        )
+
+    def test_walk_preorder(self):
+        kinds = [type(node).__name__ for node in self.sample().walk()]
+        assert kinds[0] == "BinOp"
+        assert "ArrayRef" in kinds
+        assert "Call" in kinds
+
+    def test_array_refs_in_order(self):
+        refs = self.sample().array_refs()
+        assert [r.name for r in refs] == ["A", "B"]
+
+    def test_scalar_refs(self):
+        assert [r.name for r in self.sample().scalar_refs()] == ["s"]
+
+    def test_collect_ref_tuples(self):
+        assert collect_ref_tuples(self.sample()) == [("A", (0, 1)), ("B", (0, 0))]
+
+    def test_op_count(self):
+        # BinOp + Call + BinOp = 3 operation nodes.
+        assert self.sample().op_count() == 3
+
+    def test_map_rebuilds(self):
+        doubled = self.sample().map(
+            lambda node: Const(2.0) if isinstance(node, ScalarRef) else None
+        )
+        assert not doubled.scalar_refs()
+        # Original untouched.
+        assert self.sample().scalar_refs()
+
+    def test_substitute_refs(self):
+        replaced = substitute_refs(
+            self.sample(),
+            lambda ref: ScalarRef(ref.name.lower()) if ref.name == "A" else None,
+        )
+        assert [r.name for r in replaced.array_refs()] == ["B"]
+        assert "a" in [r.name for r in replaced.scalar_refs()]
+
+    def test_str_rendering(self):
+        assert str(ArrayRef("A", (0, 0))) == "A"
+        assert str(ArrayRef("A", (1, -1))) == "A@(1, -1)"
+        assert str(IndexRef(2)) == "Index2"
+        assert "sqrt" in str(self.sample())
+        reduce_node = Reduce("+", Region.literal((1, 4)), ArrayRef("A", (0,)))
+        assert "+<<" in str(reduce_node)
+
+    def test_index_ref_validation(self):
+        with pytest.raises(ValueError):
+            IndexRef(0)
+
+    def test_unop_str(self):
+        assert str(UnOp("not", Const(True))) == "(not True)"
+
+
+class TestProgramQueries:
+    SOURCE = """
+program q;
+config n : integer = 4;
+region R = [1..n, 1..n];
+var A, B, C : [R] float;
+var s : float;
+var i : integer;
+begin
+  [R] A := Index1 * 1.0;
+  [R] B := A@(0,1) + A@(0,-1);
+  s := +<< [R] B;
+  for i := 1 to 2 do
+    [R] C := B * s;
+  end;
+end;
+"""
+
+    def test_array_statements_recurse(self):
+        program = normalize_source(self.SOURCE)
+        # A, B, the fused reduction and C.
+        assert len(program.array_statements()) == 4
+
+    def test_blocks(self):
+        program = normalize_source(self.SOURCE)
+        blocks = list(program.blocks())
+        assert [len(b) for b in blocks] == [3, 1]
+
+    def test_reads_of(self):
+        program = normalize_source(self.SOURCE)
+        assert len(program.reads_of("A")) == 1
+        assert len(program.reads_of("B")) == 2  # the reduction and C's stmt
+
+    def test_config_env(self):
+        program = normalize_source(self.SOURCE, {"n": 9})
+        assert program.config_env() == {"n": 9}
+
+    def test_render_smoke(self):
+        program = normalize_source(self.SOURCE)
+        text = program.render()
+        assert "program q (normalized)" in text
+        assert "for i := 1 to 2 do" in text
+        assert "+<<" in text
+
+    def test_user_vs_compiler_arrays(self):
+        program = normalize_source(self.SOURCE)
+        assert {a.name for a in program.user_arrays()} == {"A", "B", "C"}
+        assert program.compiler_arrays() == []
+
+
+class TestErrors:
+    def test_source_location(self):
+        loc = SourceLocation(3, 7)
+        assert str(loc) == "3:7"
+        assert loc == SourceLocation(3, 7)
+        assert hash(loc) == hash(SourceLocation(3, 7))
+        assert loc != SourceLocation(3, 8)
+
+    def test_error_message_includes_location(self):
+        error = ParseError("bad token", SourceLocation(2, 5))
+        assert "2:5" in str(error)
+        assert error.location.line == 2
+
+    def test_error_without_location(self):
+        error = LexError("oops")
+        assert error.location is None
+
+    def test_hierarchy(self):
+        assert issubclass(ParseError, ReproError)
+        assert issubclass(SemanticError, ReproError)

@@ -1,0 +1,114 @@
+"""Tests for affine bound expressions."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ir.linexpr import LinearExpr
+from repro.util.errors import NormalizationError
+
+
+def linexprs():
+    return st.builds(
+        LinearExpr,
+        st.integers(-50, 50),
+        st.dictionaries(st.sampled_from(["i", "j", "k"]), st.integers(-5, 5)),
+    )
+
+
+def envs():
+    return st.fixed_dictionaries(
+        {"i": st.integers(-10, 10), "j": st.integers(-10, 10), "k": st.integers(-10, 10)}
+    )
+
+
+class TestConstruction:
+    def test_constant(self):
+        expr = LinearExpr.constant(5)
+        assert expr.is_constant
+        assert expr.const == 5
+
+    def test_variable(self):
+        expr = LinearExpr.variable("i")
+        assert not expr.is_constant
+        assert expr.free_variables() == ("i",)
+
+    def test_zero_coefficients_dropped(self):
+        expr = LinearExpr(3, {"i": 0})
+        assert expr.is_constant
+
+    def test_coerce(self):
+        assert LinearExpr.coerce(7) == LinearExpr(7)
+        expr = LinearExpr.variable("i")
+        assert LinearExpr.coerce(expr) is expr
+
+
+class TestAlgebra:
+    def test_add(self):
+        i = LinearExpr.variable("i")
+        assert (i + 1).evaluate({"i": 4}) == 5
+        assert (1 + i).evaluate({"i": 4}) == 5
+
+    def test_sub(self):
+        i = LinearExpr.variable("i")
+        assert (i - 3).evaluate({"i": 4}) == 1
+        assert (3 - i).evaluate({"i": 4}) == -1
+
+    def test_mul_by_constant(self):
+        i = LinearExpr.variable("i")
+        assert (i * 3).evaluate({"i": 4}) == 12
+        assert (LinearExpr(3) * i).evaluate({"i": 4}) == 12
+
+    def test_nonaffine_product_rejected(self):
+        i = LinearExpr.variable("i")
+        with pytest.raises(NormalizationError):
+            _ = i * i
+
+    def test_cancellation(self):
+        i = LinearExpr.variable("i")
+        assert (i - i).is_constant
+
+    @given(linexprs(), linexprs(), envs())
+    def test_add_homomorphism(self, a, b, env):
+        assert (a + b).evaluate(env) == a.evaluate(env) + b.evaluate(env)
+
+    @given(linexprs(), linexprs(), envs())
+    def test_sub_homomorphism(self, a, b, env):
+        assert (a - b).evaluate(env) == a.evaluate(env) - b.evaluate(env)
+
+    @given(linexprs(), st.integers(-6, 6), envs())
+    def test_scale_homomorphism(self, a, k, env):
+        assert a.scaled(k).evaluate(env) == k * a.evaluate(env)
+
+
+class TestEvaluation:
+    def test_unbound_variable(self):
+        with pytest.raises(NormalizationError, match="unbound"):
+            LinearExpr.variable("i").evaluate({})
+
+    def test_substitute_partial(self):
+        expr = LinearExpr(1, {"i": 2, "j": 3})
+        reduced = expr.substitute({"i": 5})
+        assert reduced == LinearExpr(11, {"j": 3})
+
+    @given(linexprs(), envs())
+    def test_substitute_then_evaluate(self, a, env):
+        assert a.substitute(env).evaluate({}) == a.evaluate(env)
+
+
+class TestEquality:
+    def test_structural_equality(self):
+        assert LinearExpr(1, {"i": 2}) == LinearExpr(1, {"i": 2})
+        assert LinearExpr(1, {"i": 2}) != LinearExpr(1, {"i": 3})
+
+    def test_int_equality(self):
+        assert LinearExpr(4) == 4
+        assert LinearExpr(4, {"i": 1}) != 4
+
+    def test_hash_consistency(self):
+        assert hash(LinearExpr(1, {"i": 2})) == hash(LinearExpr(1, {"i": 2}))
+
+    def test_str(self):
+        assert str(LinearExpr(1, {"i": 1})) == "i + 1"
+        assert str(LinearExpr(0, {"i": -1})) == "-i"
+        assert str(LinearExpr(0)) == "0"

@@ -1,0 +1,265 @@
+"""Tests for the machine substrate: caches, traces, layout, cost model."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.fusion import BASELINE, C2, plan_program
+from repro.ir import normalize_source
+from repro.machine import (
+    Cache,
+    CacheConfig,
+    CacheHierarchy,
+    CRAY_T3E,
+    IBM_SP2,
+    INTEL_PARAGON,
+    MemoryLayout,
+    estimate_sequential,
+    nest_trace,
+    simulate_trace,
+)
+from repro.scalarize import compile_program
+from repro.util.errors import MachineError
+
+
+class TestCacheConfig:
+    def test_num_sets(self):
+        config = CacheConfig(size=8192, line=32, assoc=1, miss_penalty=10)
+        assert config.num_sets == 256
+
+    def test_bad_line_size(self):
+        with pytest.raises(MachineError):
+            CacheConfig(size=8192, line=33, assoc=1, miss_penalty=10)
+
+    def test_indivisible_size(self):
+        with pytest.raises(MachineError):
+            CacheConfig(size=8000, line=32, assoc=3, miss_penalty=10)
+
+
+class TestDirectMapped:
+    def make(self):
+        return Cache(CacheConfig(size=128, line=16, assoc=1, miss_penalty=10))
+
+    def test_cold_miss_then_hit(self):
+        cache = self.make()
+        assert not cache.access(0)
+        assert cache.access(0)
+        assert cache.access(8)  # same 16-byte line
+
+    def test_conflict_eviction(self):
+        cache = self.make()
+        cache.access(0)
+        cache.access(128)  # 8 sets * 16B -> maps to set 0, evicts
+        assert not cache.access(0)
+
+    def test_distinct_sets_no_conflict(self):
+        cache = self.make()
+        cache.access(0)
+        cache.access(16)
+        assert cache.access(0)
+        assert cache.access(16)
+
+    def test_trace_api_equivalent(self):
+        trace = [0, 128, 0, 128, 16, 0]
+        sequential = self.make()
+        misses_seq = sum(0 if sequential.access(a) else 1 for a in trace)
+        batched = self.make()
+        misses_batch = batched.access_trace(trace)
+        assert misses_seq == misses_batch
+
+
+class TestSetAssociative:
+    def make(self, assoc=2):
+        return Cache(CacheConfig(size=64 * assoc, line=16, assoc=assoc, miss_penalty=1))
+
+    def test_two_way_retains_both(self):
+        cache = self.make(2)
+        cache.access(0)
+        cache.access(64)  # same set, second way
+        assert cache.access(0)
+        assert cache.access(64)
+
+    def test_lru_eviction_order(self):
+        cache = self.make(2)
+        cache.access(0)     # way 1
+        cache.access(64)    # way 2
+        cache.access(128)   # evicts 0 (LRU)
+        assert cache.access(64)
+        assert not cache.access(0)
+
+    def test_lru_touch_refreshes(self):
+        cache = self.make(2)
+        cache.access(0)
+        cache.access(64)
+        cache.access(0)     # 64 becomes LRU
+        cache.access(128)   # evicts 64
+        assert cache.access(0)
+        assert not cache.access(64)
+
+    @given(st.lists(st.integers(0, 1023), max_size=200))
+    def test_miss_count_bounded(self, addresses):
+        cache = self.make(2)
+        misses = cache.access_trace(addresses)
+        assert 0 <= misses <= len(addresses)
+        assert cache.accesses == len(addresses)
+
+
+class TestHierarchy:
+    def test_l2_sees_only_l1_misses(self):
+        hierarchy = CacheHierarchy(
+            [
+                CacheConfig(64, 16, 1, 1.0),
+                CacheConfig(256, 16, 1, 10.0),
+            ]
+        )
+        misses = hierarchy.run_trace([0, 0, 0, 16, 16])
+        assert misses[0] == 2  # lines 0 and 16 cold in L1
+        assert misses[1] == 2
+
+    def test_l2_absorbs_l1_conflicts(self):
+        hierarchy = CacheHierarchy(
+            [
+                CacheConfig(32, 16, 1, 1.0),   # 2 sets: 0 and 64 conflict
+                CacheConfig(512, 16, 4, 10.0),
+            ]
+        )
+        misses = hierarchy.run_trace([0, 64, 0, 64, 0, 64])
+        assert misses[0] == 6
+        assert misses[1] == 2  # only the two cold lines
+
+    def test_simulate_trace_helper(self):
+        misses = simulate_trace([CacheConfig(64, 16, 1, 1.0)], [0, 0, 16])
+        assert misses == [2]
+
+
+class TestMemoryLayout:
+    def program(self):
+        source = """
+program p;
+config n : integer = 4;
+region R = [1..n, 1..n];
+var A, B : [R] float;
+begin
+  [R] A := B@(-1,0);
+end;
+"""
+        prog = normalize_source(source)
+        return compile_program(prog, BASELINE)
+
+    def test_bases_aligned_and_disjoint(self):
+        layout = MemoryLayout(self.program())
+        names = sorted(layout.bases)
+        assert names == ["A", "B"]
+        for name in names:
+            assert layout.bases[name] % 64 == 0
+        # B has a halo row: 6*4 elements.
+        assert layout.total_bytes >= (16 + 24) * 8
+
+    def test_address_of_row_major(self):
+        layout = MemoryLayout(self.program())
+        base = layout.address_of("A", (1, 1))
+        assert layout.address_of("A", (1, 2)) == base + 8
+        assert layout.address_of("A", (2, 1)) == base + 4 * 8
+
+    def test_trace_addresses_match_layout(self):
+        sp = self.program()
+        layout = MemoryLayout(sp)
+        (nest,) = sp.loop_nests()
+        trace = nest_trace(nest, layout, {})
+        # Per point: read B@(-1,0) then write A.
+        assert trace.shape[0] == 2 * 16
+        assert trace[0] == layout.address_of("B", (0, 1))
+        assert trace[1] == layout.address_of("A", (1, 1))
+
+    def test_reversed_structure_reverses_trace(self):
+        sp = self.program()
+        layout = MemoryLayout(sp)
+        (nest,) = sp.loop_nests()
+        from repro.scalarize import LoopNest
+
+        reversed_nest = LoopNest(nest.region, (-1, 2), nest.body)
+        forward = nest_trace(nest, layout, {})
+        backward = nest_trace(reversed_nest, layout, {})
+        # Point (1,1) is first in the forward trace and starts the last
+        # row-block (entries -8..-1) of the backward trace.
+        assert forward[1] == backward[-7]
+        assert set(forward.tolist()) == set(backward.tolist())
+
+
+class TestCostModel:
+    SOURCE = """
+program p;
+config n : integer = 16;
+region R = [1..n, 1..n];
+var A, B, C : [R] float;
+var s : float;
+var i : integer;
+begin
+  [R] B := A * 2.0;
+  [R] C := B + A;
+  s := +<< [R] C;
+end;
+"""
+
+    def test_costs_positive_and_consistent(self):
+        prog = normalize_source(self.SOURCE)
+        sp = compile_program(prog, BASELINE)
+        result = estimate_sequential(sp, CRAY_T3E)
+        assert result.cycles > 0
+        counts = result.counts
+        assert counts.loads > 0 and counts.stores > 0
+        assert counts.misses[0] <= counts.loads + counts.stores
+        assert counts.misses[1] <= counts.misses[0]
+
+    def test_contraction_reduces_cost(self):
+        prog = normalize_source(self.SOURCE)
+        base = estimate_sequential(compile_program(prog, BASELINE), CRAY_T3E)
+        opt = estimate_sequential(compile_program(prog, C2), CRAY_T3E)
+        assert opt.cycles < base.cycles
+        assert opt.counts.loads < base.counts.loads
+
+    def test_machines_have_distinct_parameters(self):
+        clocks = {m.clock_mhz for m in (CRAY_T3E, IBM_SP2, INTEL_PARAGON)}
+        assert len(clocks) == 3
+        assert len(CRAY_T3E.caches) == 2
+        assert len(IBM_SP2.caches) == 1
+
+    def test_sampled_loops_extrapolate(self):
+        source = """
+program p;
+config n : integer = 12;
+region R = [1..n, 1..n];
+var A, B : [R] float;
+var i : integer;
+begin
+  for i := 1 to n do
+    [i, 1..n] A := B * 2.0;
+  end;
+end;
+"""
+        prog = normalize_source(source)
+        sp = compile_program(prog, BASELINE)
+        full = estimate_sequential(sp, IBM_SP2, sample_iterations=12)
+        sampled = estimate_sequential(sp, IBM_SP2, sample_iterations=2)
+        # Extrapolation keeps totals in the right ballpark.
+        assert sampled.counts.points == full.counts.points
+        assert abs(sampled.cycles - full.cycles) / full.cycles < 0.5
+
+    def test_downto_loop_costed(self):
+        source = """
+program p;
+config n : integer = 8;
+region R = [1..n, 1..n];
+var A, B : [R] float;
+var i : integer;
+begin
+  for i := n downto 1 do
+    [i, 1..n] A := B * 2.0;
+  end;
+end;
+"""
+        prog = normalize_source(source)
+        sp = compile_program(prog, BASELINE)
+        result = estimate_sequential(sp, CRAY_T3E)
+        assert result.counts.points == 8 * 8

@@ -1,0 +1,202 @@
+"""Tests for the normalization pass (Section 2.1)."""
+
+import pytest
+
+from repro.ir import (
+    ArrayRef,
+    ArrayStatement,
+    Const,
+    IndexRef,
+    LoopStatement,
+    ReductionStatement,
+    ScalarStatement,
+    normalize_source,
+)
+from repro.ir.statement import basic_blocks
+from repro.util.errors import NormalizationError
+
+TEMPLATE = """
+program p;
+config n : integer = 8;
+region R = [1..n, 1..n];
+var A, B, C : [R] float;
+var s : float;
+var i : integer;
+begin
+%s
+end;
+"""
+
+
+def norm(body, policy="always", **overrides):
+    return normalize_source(TEMPLATE % body, overrides or None, policy)
+
+
+class TestConfigs:
+    def test_defaults_evaluated(self):
+        program = norm("[R] A := 1.0;")
+        assert program.configs["n"] == 8
+
+    def test_overrides(self):
+        program = norm("[R] A := 1.0;", n=16)
+        assert program.configs["n"] == 16
+        region = program.arrays["A"].region
+        assert region.concrete_bounds({}) == ((1, 16), (1, 16))
+
+    def test_unknown_override_rejected(self):
+        with pytest.raises(NormalizationError, match="undeclared"):
+            norm("[R] A := 1.0;", nope=3)
+
+    def test_config_expression_default(self):
+        source = (
+            "program p; config n : integer = 4; config m : integer = n * 2 + 1;"
+            " region R = [1..m]; var V : [R] float; begin [R] V := 1.0; end;"
+        )
+        program = normalize_source(source)
+        assert program.configs["m"] == 9
+
+
+class TestTempInsertion:
+    def test_no_self_read_no_temp(self):
+        program = norm("[R] A := B + C;")
+        assert program.compiler_arrays() == []
+
+    def test_self_read_inserts_temp(self):
+        program = norm("[R] A := A@(1,0) + B;")
+        temps = program.compiler_arrays()
+        assert len(temps) == 1
+        stmts = program.array_statements()
+        assert stmts[0].target == temps[0].name
+        assert stmts[1].target == "A"
+        assert isinstance(stmts[1].rhs, ArrayRef)
+
+    def test_zero_offset_self_read_inserts_temp_by_default(self):
+        program = norm("[R] A := A + B;")
+        assert len(program.compiler_arrays()) == 1
+
+    def test_zero_offset_policy_elides(self):
+        program = norm("[R] A := A + B;", policy="zero_offset")
+        assert program.compiler_arrays() == []
+
+    def test_zero_offset_policy_keeps_offset_temp(self):
+        program = norm("[R] A := A@(1,0) + B;", policy="zero_offset")
+        assert len(program.compiler_arrays()) == 1
+
+    def test_reversal_policy_elides_uniform_offsets(self):
+        program = norm("[R] A := A@(-1,0) + A@(-1,-1);", policy="reversal")
+        assert program.compiler_arrays() == []
+
+    def test_reversal_policy_keeps_conflicting_offsets(self):
+        # (-1,0) and (1,0) cannot both be made safe by one loop direction.
+        program = norm("[R] A := A@(-1,0) + A@(1,0);", policy="reversal")
+        assert len(program.compiler_arrays()) == 1
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(NormalizationError):
+            norm("[R] A := B;", policy="sometimes")
+
+    def test_temp_region_matches_target_declared_region(self):
+        program = norm(
+            "for i := 2 to n do [i, 1..n] A := A@(-1,0) + B; end;"
+        )
+        temp = program.compiler_arrays()[0]
+        assert temp.region == program.arrays["A"].region
+
+
+class TestReductions:
+    def test_bare_reduction_becomes_statement(self):
+        program = norm("s := +<< [R] A;")
+        stmt = program.body[0]
+        assert isinstance(stmt, ReductionStatement)
+        assert stmt.scalar_target == "s"
+        assert stmt.op == "+"
+
+    def test_reduction_inside_expression_hoisted(self):
+        program = norm("s := 1.0 + (+<< [R] A);")
+        assert isinstance(program.body[0], ReductionStatement)
+        assert isinstance(program.body[1], ScalarStatement)
+
+    def test_reduction_in_array_rhs_hoisted(self):
+        program = norm("[R] B := A / (+<< [R] A);")
+        assert isinstance(program.body[0], ReductionStatement)
+        assert isinstance(program.body[1], ArrayStatement)
+
+    def test_reduction_region_inferred(self):
+        program = norm("s := max<< A;")
+        stmt = program.body[0]
+        assert stmt.region == program.arrays["A"].region
+
+    def test_reduction_in_loop_bound_rejected(self):
+        with pytest.raises(NormalizationError, match="reduction"):
+            norm("for i := 1 to floor(+<< [R] A) do s := 1.0; end;")
+
+    def test_reduction_statement_reads(self):
+        program = norm("s := +<< [R] (A + B@(0,1));")
+        stmt = program.body[0]
+        names = {ref.name for ref in stmt.reads()}
+        assert names == {"A", "B"}
+        assert stmt.scalar_writes() == ["s"]
+        assert not stmt.writes_array
+
+
+class TestIndexArrays:
+    def test_index_ref_lowered(self):
+        program = norm("[R] A := Index1 + Index2;")
+        refs = [
+            node
+            for node in program.array_statements()[0].rhs.walk()
+            if isinstance(node, IndexRef)
+        ]
+        assert [r.dim for r in refs] == [1, 2]
+
+    def test_index_arrays_cost_no_storage(self):
+        program = norm("[R] A := Index1;")
+        assert set(program.arrays) == {"A", "B", "C"}
+
+
+class TestStructure:
+    def test_configs_folded_to_constants(self):
+        program = norm("s := n * 2.0;")
+        stmt = program.body[0]
+        consts = [node for node in stmt.rhs.walk() if isinstance(node, Const)]
+        assert any(c.value == 8 for c in consts)
+
+    def test_control_flow_preserved(self):
+        program = norm("for i := 1 to n do [i, 1..n] A := B; end;")
+        assert isinstance(program.body[0], LoopStatement)
+
+    def test_basic_blocks_split_by_scalar_statements(self):
+        program = norm(
+            "[R] A := B;\ns := 1.0;\n[R] C := A;\n[R] B := C;"
+        )
+        blocks = list(basic_blocks(program.body))
+        assert [len(block) for _start, block in blocks] == [1, 2]
+
+    def test_halo_computation(self):
+        program = norm("[R] A := B@(-2,1) + B@(1,-3);")
+        assert program.halo("B") == (2, 3)
+        assert program.halo("A") == (0, 0)
+
+    def test_allocation_region_includes_halo(self):
+        program = norm("[R] A := B@(-2,1);")
+        region = program.allocation_region("B")
+        assert region.concrete_bounds({}) == ((-1, 10), (0, 9))
+
+
+class TestLiveness:
+    def test_refs_confined(self):
+        program = norm("[R] B := A;\n[R] C := B;")
+        block = next(iter(program.blocks()))
+        assert program.refs_confined_to_block("B", block)
+        assert program.refs_confined_to_block("C", block)
+
+    def test_reduction_read_escapes(self):
+        program = norm("[R] B := A;\ns := 1.0;\ns := s + (+<< [R] B);")
+        first_block = next(iter(program.blocks()))
+        assert not program.refs_confined_to_block("B", first_block)
+
+    def test_first_ref_definition(self):
+        program = norm("[R] B := A;\n[R] C := B;")
+        block = next(iter(program.blocks()))
+        assert program.first_ref_is_definition("B", block)
+        assert not program.first_ref_is_definition("A", block)

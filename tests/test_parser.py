@@ -1,0 +1,220 @@
+"""Tests for the mini-ZPL parser."""
+
+import pytest
+
+from repro.lang import ast_nodes as ast
+from repro.lang.parser import parse
+from repro.util.errors import ParseError
+
+
+def wrap(body, decls=""):
+    return "program p;\n%s\nbegin\n%s\nend;" % (decls, body)
+
+
+def parse_body(body, decls=""):
+    return parse(wrap(body, decls)).body
+
+
+class TestProgramStructure:
+    def test_minimal_program(self):
+        program = parse("program p; begin end;")
+        assert program.name == "p"
+        assert program.decls == []
+        assert program.body == []
+
+    def test_optional_procedure_header(self):
+        program = parse("program p; procedure main(); begin end;")
+        assert program.body == []
+
+    def test_missing_semicolon_after_name(self):
+        with pytest.raises(ParseError):
+            parse("program p begin end;")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse("program p; begin end; extra")
+
+
+class TestDeclarations:
+    def test_config(self):
+        program = parse("program p; config n : integer = 8; begin end;")
+        decl = program.decls[0]
+        assert isinstance(decl, ast.ConfigDecl)
+        assert decl.name == "n"
+        assert decl.kind == "integer"
+
+    def test_region(self):
+        program = parse("program p; region R = [1..4, 2..8]; begin end;")
+        decl = program.decls[0]
+        assert isinstance(decl, ast.RegionDecl)
+        assert len(decl.dims) == 2
+
+    def test_degenerate_region_dim(self):
+        program = parse("program p; region R = [3, 1..4]; begin end;")
+        dim = program.decls[0].dims[0]
+        assert dim.lo is dim.hi
+
+    def test_direction(self):
+        program = parse("program p; direction north = [-1, 0]; begin end;")
+        decl = program.decls[0]
+        assert isinstance(decl, ast.DirectionDecl)
+        assert decl.components == (-1, 0)
+
+    def test_var_scalar(self):
+        program = parse("program p; var x, y : float; begin end;")
+        decl = program.decls[0]
+        assert decl.names == ["x", "y"]
+        assert not decl.type.is_array
+
+    def test_var_array(self):
+        program = parse(
+            "program p; region R = [1..4]; var A : [R] float; begin end;"
+        )
+        decl = program.decls[1]
+        assert decl.type.is_array
+        assert decl.type.region.name == "R"
+
+    def test_var_inline_region(self):
+        program = parse("program p; var A : [1..4, 1..4] integer; begin end;")
+        assert program.decls[0].type.region.dims is not None
+
+
+class TestStatements:
+    DECLS = (
+        "config n : integer = 4; region R = [1..n, 1..n];"
+        " var A, B : [R] float; var s : float; var i : integer;"
+    )
+
+    def test_array_assign(self):
+        body = parse_body("[R] A := B;", self.DECLS)
+        stmt = body[0]
+        assert isinstance(stmt, ast.ArrayAssign)
+        assert stmt.target == "A"
+
+    def test_scalar_assign(self):
+        body = parse_body("s := 1.0;", self.DECLS)
+        assert isinstance(body[0], ast.ScalarAssign)
+
+    def test_for_loop(self):
+        body = parse_body("for i := 1 to n do s := 1.0; end;", self.DECLS)
+        stmt = body[0]
+        assert isinstance(stmt, ast.For)
+        assert not stmt.downto
+        assert len(stmt.body) == 1
+
+    def test_for_downto(self):
+        body = parse_body("for i := n downto 1 do s := 1.0; end;", self.DECLS)
+        assert body[0].downto
+
+    def test_if_else(self):
+        body = parse_body(
+            "if s > 1.0 then s := 0.0; else s := 2.0; end;", self.DECLS
+        )
+        stmt = body[0]
+        assert isinstance(stmt, ast.If)
+        assert len(stmt.then_body) == 1
+        assert len(stmt.else_body) == 1
+
+    def test_elsif_desugars(self):
+        body = parse_body(
+            "if s > 1.0 then s := 0.0; elsif s > 0.5 then s := 1.0;"
+            " else s := 2.0; end;",
+            self.DECLS,
+        )
+        outer = body[0]
+        assert isinstance(outer.else_body[0], ast.If)
+
+    def test_while(self):
+        body = parse_body("while s < 4.0 do s := s + 1.0; end;", self.DECLS)
+        assert isinstance(body[0], ast.While)
+
+    def test_dynamic_region_statement(self):
+        body = parse_body("[i, 1..n] A := B;", self.DECLS)
+        assert body[0].region.dims is not None
+
+    def test_missing_assign_op(self):
+        with pytest.raises(ParseError):
+            parse_body("s = 1.0;", self.DECLS)
+
+
+class TestExpressions:
+    DECLS = TestStatements.DECLS
+
+    def value(self, text):
+        return parse_body("s := %s;" % text, self.DECLS)[0].value
+
+    def test_precedence_mul_over_add(self):
+        expr = self.value("1.0 + 2.0 * 3.0")
+        assert isinstance(expr, ast.BinOp)
+        assert expr.op == "+"
+        assert isinstance(expr.right, ast.BinOp)
+        assert expr.right.op == "*"
+
+    def test_left_associativity(self):
+        expr = self.value("1.0 - 2.0 - 3.0")
+        assert expr.op == "-"
+        assert isinstance(expr.left, ast.BinOp)
+
+    def test_power_right_associative(self):
+        expr = self.value("2.0 ^ 3.0 ^ 2.0")
+        assert expr.op == "^"
+        assert isinstance(expr.right, ast.BinOp)
+        assert expr.right.op == "^"
+
+    def test_parentheses(self):
+        expr = self.value("(1.0 + 2.0) * 3.0")
+        assert expr.op == "*"
+        assert isinstance(expr.left, ast.BinOp)
+
+    def test_unary_minus(self):
+        expr = self.value("-s")
+        assert isinstance(expr, ast.UnOp)
+        assert expr.op == "-"
+
+    def test_comparison_and_logic(self):
+        expr = self.value("s > 1.0 and s < 2.0")
+        assert expr.op == "and"
+
+    def test_not(self):
+        expr = self.value("not (s > 1.0)")
+        assert isinstance(expr, ast.UnOp)
+        assert expr.op == "not"
+
+    def test_call(self):
+        expr = self.value("min(s, 2.0)")
+        assert isinstance(expr, ast.Call)
+        assert len(expr.args) == 2
+
+    def test_offset_ref_literal(self):
+        body = parse_body("[R] A := B@(-1, 2);", self.DECLS)
+        ref = body[0].value
+        assert isinstance(ref, ast.OffsetRef)
+        assert ref.direction == (-1, 2)
+
+    def test_offset_ref_named(self):
+        body = parse_body("[R] A := B@north;", self.DECLS)
+        assert body[0].value.direction == "north"
+
+    def test_offset_requires_variable(self):
+        with pytest.raises(ParseError):
+            parse_body("[R] A := (B + B)@(1,0);", self.DECLS)
+
+    def test_reduction_with_region(self):
+        expr = self.value("+<< [R] A")
+        assert isinstance(expr, ast.Reduce)
+        assert expr.op == "+"
+        assert expr.region is not None
+
+    def test_reduction_without_region(self):
+        expr = self.value("max<< A")
+        assert expr.op == "max"
+        assert expr.region is None
+
+    def test_reduction_kinds(self):
+        for text, op in [("+<< A", "+"), ("*<< A", "*"), ("min<< A", "min")]:
+            assert self.value(text).op == op
+
+    def test_reduction_binds_tighter_than_add(self):
+        expr = self.value("s + +<< [R] A")
+        assert expr.op == "+"
+        assert isinstance(expr.right, ast.Reduce)

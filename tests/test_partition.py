@@ -1,0 +1,128 @@
+"""Tests for fusion partitions (Definition 5)."""
+
+import pytest
+
+from repro.deps import build_asdg
+from repro.fusion import FusionPartition
+from repro.ir import normalize_source
+from repro.util.errors import FusionError
+
+TEMPLATE = """
+program p;
+config n : integer = 6;
+region R = [1..n, 1..n];
+region I = [2..n-1, 2..n-1];
+var A, B, C, D, E : [R] float;
+var s : float;
+begin
+%s
+end;
+"""
+
+
+def partition_for(body):
+    program = normalize_source(TEMPLATE % body)
+    block = next(iter(program.blocks()))
+    return FusionPartition(build_asdg(block))
+
+
+class TestTrivialPartition:
+    def test_one_cluster_per_statement(self):
+        partition = partition_for("[R] A := B;\n[R] C := A;")
+        assert partition.cluster_count() == 2
+        assert partition.is_valid()
+
+    def test_cluster_of(self):
+        partition = partition_for("[R] A := B;\n[R] C := A;")
+        stmts = partition.graph.statements
+        assert partition.cluster_of(stmts[0]) != partition.cluster_of(stmts[1])
+
+
+class TestConditionI:
+    def test_different_regions_not_fusible(self):
+        partition = partition_for("[R] A := B;\n[I] C := B;")
+        assert not partition.merge_is_fusion_partition({0, 1})
+
+    def test_same_region_fusible(self):
+        partition = partition_for("[R] A := B;\n[R] C := B;")
+        assert partition.merge_is_fusion_partition({0, 1})
+
+
+class TestConditionII:
+    def test_nonnull_flow_blocks_fusion(self):
+        partition = partition_for("[R] A := B;\n[R] C := A@(0,1);")
+        assert not partition.merge_is_fusion_partition({0, 1})
+
+    def test_null_flow_allows_fusion(self):
+        partition = partition_for("[R] A := B;\n[R] C := A;")
+        assert partition.merge_is_fusion_partition({0, 1})
+
+    def test_nonnull_anti_allows_fusion(self):
+        # Anti-dependences may be loop-carried (condition (iv) permitting).
+        partition = partition_for("[R] A := C@(-1,0);\n[R] C := B;")
+        assert partition.merge_is_fusion_partition({0, 1})
+
+    def test_scalar_dep_blocks_fusion(self):
+        partition = partition_for("s := +<< [R] B;\n[R] A := B * s;")
+        assert not partition.merge_is_fusion_partition({0, 1})
+
+
+class TestConditionIII:
+    def test_cycle_through_middle_cluster(self):
+        # 1 -> 2 -> 3; fusing {1, 3} without 2 creates a cycle.
+        partition = partition_for(
+            "[R] A := B;\n[I] C := A;\n[R] D := C;"
+        )
+        assert not partition.merge_is_fusion_partition({0, 2})
+
+
+class TestConditionIV:
+    def test_no_loop_structure_blocks_fusion(self):
+        partition = partition_for(
+            "[R] A := C@(-1,0) + D@(1,0);\n[R] C := B;\n[R] D := B;"
+        )
+        # Fusing all three needs dim 1 both forward and backward.
+        assert not partition.merge_is_fusion_partition({0, 1, 2})
+        # Pairs are fine.
+        assert partition.merge_is_fusion_partition({0, 1})
+        assert partition.merge_is_fusion_partition({0, 2})
+
+
+class TestMerge:
+    def test_merge_keeps_block_order(self):
+        partition = partition_for("[R] A := B;\n[R] C := B;\n[R] D := B;")
+        partition.merge({0, 2})
+        members = partition.members(0)
+        positions = [partition.graph.position(stmt) for stmt in members]
+        assert positions == sorted(positions)
+
+    def test_merge_into_smallest_id(self):
+        partition = partition_for("[R] A := B;\n[R] C := B;")
+        target = partition.merge({0, 1})
+        assert target == 0
+        assert partition.cluster_ids() == [0]
+
+    def test_merge_empty_rejected(self):
+        partition = partition_for("[R] A := B;")
+        with pytest.raises(FusionError):
+            partition.merge(set())
+
+
+class TestScalarizationSupport:
+    def test_cluster_order_respects_dependences(self):
+        partition = partition_for("[R] A := B;\n[R] C := A;\n[R] D := C;")
+        order = partition.cluster_order()
+        assert order == sorted(order)
+
+    def test_loop_structure_identity_when_unconstrained(self):
+        partition = partition_for("[R] A := B;")
+        assert partition.loop_structure(0) == (1, 2)
+
+    def test_loop_structure_reversal_from_anti(self):
+        partition = partition_for("[R] A := C@(-1,0);\n[R] C := B;")
+        partition.merge({0, 1})
+        assert partition.loop_structure(0) == (-1, 2)
+
+    def test_render_smoke(self):
+        text = partition_for("[R] A := B;").render()
+        assert "cluster" in text

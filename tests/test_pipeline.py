@@ -1,0 +1,114 @@
+"""Tests for the optimization levels (Section 5.4's strategies)."""
+
+from repro.fusion import (
+    ALL_LEVELS,
+    BASELINE,
+    C1,
+    C2,
+    C2F3,
+    C2F4,
+    F1,
+    F2,
+    F3,
+    LEVELS_BY_NAME,
+    plan_block,
+    plan_program,
+)
+from repro.ir import normalize_source
+
+SOURCE = """
+program p;
+config n : integer = 6;
+region R = [1..n, 1..n];
+var A, B, C : [R] float;
+var s : float;
+begin
+  [R] A := A@(0,1) + B;
+  [R] C := A * 2.0;
+  [R] B := C + A;
+  s := +<< [R] B;
+end;
+"""
+
+
+def plans():
+    program = normalize_source(SOURCE)
+    return program, {level.name: plan_program(program, level) for level in ALL_LEVELS}
+
+
+class TestLevelTable:
+    def test_all_levels_registered(self):
+        assert len(ALL_LEVELS) == 8
+        assert LEVELS_BY_NAME["baseline"] is BASELINE
+        assert LEVELS_BY_NAME["c2+f3"] is C2F3
+
+    def test_level_flags_monotone(self):
+        # Each level includes at least the transformations of its ancestor.
+        assert not BASELINE.fuse_compiler
+        assert F1.fuse_compiler and not F1.contract_compiler
+        assert C1.contract_compiler
+        assert F2.fuse_user and not F2.contract_user
+        assert F3.fuse_locality and not F3.fuse_user
+        assert C2.contract_user
+        assert C2F3.fuse_locality
+        assert C2F4.fuse_all
+
+
+class TestPlans:
+    def test_baseline_contracts_nothing(self):
+        program, by_name = plans()
+        assert by_name["baseline"].contracted_arrays() == set()
+        for plan in by_name["baseline"].block_plans.values():
+            assert plan.cluster_count == len(plan.block)
+
+    def test_f1_fuses_without_contracting(self):
+        program, by_name = plans()
+        assert by_name["f1"].contracted_arrays() == set()
+        # The compiler temp's pair is fused anyway.
+        block_plan = next(iter(by_name["f1"].block_plans.values()))
+        assert block_plan.cluster_count < len(block_plan.block)
+
+    def test_c1_contracts_only_compiler_temps(self):
+        program, by_name = plans()
+        contracted = by_name["c1"].contracted_arrays()
+        assert contracted
+        assert all(program.arrays[name].is_temp for name in contracted)
+
+    def test_f2_keeps_user_arrays(self):
+        program, by_name = plans()
+        contracted = by_name["f2"].contracted_arrays()
+        assert all(program.arrays[name].is_temp for name in contracted)
+
+    def test_c2_contracts_user_arrays_too(self):
+        program, by_name = plans()
+        contracted = by_name["c2"].contracted_arrays()
+        assert "C" in contracted
+
+    def test_live_arrays_complement(self):
+        program, by_name = plans()
+        plan = by_name["c2"]
+        live = set(plan.live_arrays())
+        assert live | plan.contracted_arrays() == set(program.arrays)
+        assert live & plan.contracted_arrays() == set()
+
+    def test_c2f4_minimizes_clusters(self):
+        program, by_name = plans()
+        for name in ("c2", "c2+f3", "c2+f4"):
+            plan = next(iter(by_name[name].block_plans.values()))
+        clusters = {
+            name: next(iter(by_name[name].block_plans.values())).cluster_count
+            for name in ("baseline", "c2", "c2+f4")
+        }
+        assert clusters["c2+f4"] <= clusters["c2"] <= clusters["baseline"]
+
+    def test_every_plan_is_valid(self):
+        program, by_name = plans()
+        for plan in by_name.values():
+            for block_plan in plan.block_plans.values():
+                assert block_plan.partition.is_valid()
+
+    def test_plan_for_lookup(self):
+        program, by_name = plans()
+        plan = by_name["c2"]
+        for block in program.blocks():
+            assert plan.plan_for(block).block[0].uid == block[0].uid

@@ -1,0 +1,122 @@
+"""Round-trip tests for the AST pretty-printer."""
+
+import pytest
+
+from repro.benchsuite import ALL_BENCHMARKS
+from repro.compilers import FRAGMENTS
+from repro.lang import ast_nodes as ast
+from repro.lang.parser import parse
+from repro.lang.pretty import pretty
+
+
+def ast_equal(a, b) -> bool:
+    """Structural AST equality (ignoring source locations)."""
+    if type(a) is not type(b):
+        return False
+    if isinstance(a, (int, float, str, bool, type(None))):
+        return a == b
+    if isinstance(a, (list, tuple)):
+        return len(a) == len(b) and all(
+            ast_equal(x, y) for x, y in zip(a, b)
+        )
+    if isinstance(a, ast.Node):
+        slots = [s for s in _all_slots(type(a)) if s != "location"]
+        return all(
+            ast_equal(getattr(a, slot), getattr(b, slot)) for slot in slots
+        )
+    return a == b
+
+
+def _all_slots(cls):
+    slots = []
+    for klass in cls.__mro__:
+        slots.extend(getattr(klass, "__slots__", ()))
+    return slots
+
+
+def roundtrip(source: str):
+    first = parse(source)
+    printed = pretty(first)
+    second = parse(printed)
+    assert ast_equal(first, second), printed
+    return printed
+
+
+SNIPPET = """
+program demo;
+config n : integer = 8;
+region R = [1..n, 1..n];
+direction north = [-1, 0];
+var A, B : [R] float;
+var s : float;
+var i : integer;
+begin
+  [R] A := B@north + B@(0,-1) * 2.0;
+  s := +<< [R] (A * A) + 1.0;
+  for i := 2 to n do
+    [i, 1..n] B := A@(-1,0);
+  end;
+  if s > 1.0 and not (s > 9.0) then
+    s := -s + 2.0 ^ 3.0 ^ 2.0;
+  else
+    s := (1.0 + 2.0) * 3.0 - 4.0 - 5.0;
+  end;
+  while s < 100.0 do
+    s := s * 2.0;
+  end;
+end;
+"""
+
+
+class TestRoundTrip:
+    def test_snippet(self):
+        roundtrip(SNIPPET)
+
+    def test_precedence_preserved(self):
+        printed = roundtrip(SNIPPET)
+        # (1+2)*3 keeps its parentheses; 1+2*3 would not get any.
+        assert "(1.0 + 2.0) * 3.0" in printed
+
+    def test_right_associative_power(self):
+        source = (
+            "program p; var s : float; begin s := 2.0 ^ 3.0 ^ 2.0; end;"
+        )
+        printed = roundtrip(source)
+        assert "2.0 ^ 3.0 ^ 2.0" in printed
+
+    def test_left_associative_minus(self):
+        source = (
+            "program p; var s : float; begin s := 1.0 - (2.0 - 3.0); end;"
+        )
+        printed = roundtrip(source)
+        assert "1.0 - (2.0 - 3.0)" in printed
+
+    @pytest.mark.parametrize("bench", ALL_BENCHMARKS, ids=lambda b: b.name)
+    def test_benchmarks_roundtrip(self, bench):
+        roundtrip(bench.source)
+
+    @pytest.mark.parametrize(
+        "fragment", FRAGMENTS, ids=lambda f: "frag%d" % f.number
+    )
+    def test_fragments_roundtrip(self, fragment):
+        roundtrip(fragment.source)
+
+    def test_unary_in_context(self):
+        source = "program p; var s : float; begin s := -(s + 1.0) * -s; end;"
+        roundtrip(source)
+
+    def test_boundary_statements(self):
+        source = (
+            "program p; region R = [1..4, 1..4]; var A : [R] float;"
+            " begin [R] wrap A; [R] reflect A; end;"
+        )
+        printed = roundtrip(source)
+        assert "wrap A;" in printed
+        assert "reflect A;" in printed
+
+    def test_degenerate_region(self):
+        source = (
+            "program p; var i : integer; var V : [1..4] float;"
+            " begin [2] V := 1.0; end;"
+        )
+        roundtrip(source)

@@ -1,0 +1,110 @@
+"""Tests for regions."""
+
+import pytest
+
+from repro.deps.analysis import regions_may_overlap
+from repro.ir.linexpr import LinearExpr
+from repro.ir.region import Region
+from repro.util.errors import NormalizationError
+
+
+def dyn_row(var="i", width=8):
+    """The dynamic region [var, 1..width]."""
+    v = LinearExpr.variable(var)
+    return Region([(v, v), (LinearExpr(1), LinearExpr(width))])
+
+
+class TestBasics:
+    def test_literal(self):
+        region = Region.literal((1, 8), (2, 5))
+        assert region.rank == 2
+        assert region.concrete_bounds({}) == ((1, 8), (2, 5))
+
+    def test_empty_rank_rejected(self):
+        with pytest.raises(NormalizationError):
+            Region([])
+
+    def test_static_size(self):
+        assert Region.literal((1, 8), (1, 4)).static_size({}) == 32
+
+    def test_degenerate_size_cancels_symbol(self):
+        # [i, 1..8] has extent (1, 8) without knowing i.
+        assert dyn_row().static_size({}) == 8
+
+    def test_concrete_bounds_with_env(self):
+        assert dyn_row().concrete_bounds({"i": 3}) == ((3, 3), (1, 8))
+
+    def test_is_empty(self):
+        assert Region.literal((3, 2)).is_empty({})
+        assert not Region.literal((2, 3)).is_empty({})
+
+    def test_free_variables(self):
+        assert dyn_row().free_variables() == ("i",)
+        assert Region.literal((1, 4)).free_variables() == ()
+
+
+class TestTransforms:
+    def test_shifted(self):
+        region = Region.literal((1, 8), (1, 4)).shifted((1, -1))
+        assert region.concrete_bounds({}) == ((2, 9), (0, 3))
+
+    def test_shift_rank_mismatch(self):
+        with pytest.raises(NormalizationError):
+            Region.literal((1, 8)).shifted((1, 2))
+
+    def test_expanded(self):
+        region = Region.literal((1, 8), (1, 4)).expanded((1, 2))
+        assert region.concrete_bounds({}) == ((0, 9), (-1, 6))
+
+    def test_substitute(self):
+        region = dyn_row().substitute({"i": 5})
+        assert region.concrete_bounds({}) == ((5, 5), (1, 8))
+
+
+class TestEquality:
+    def test_structural(self):
+        assert Region.literal((1, 4)) == Region.literal((1, 4))
+        assert Region.literal((1, 4)) != Region.literal((1, 5))
+
+    def test_symbolic_equality(self):
+        assert dyn_row("i") == dyn_row("i")
+        assert dyn_row("i") != dyn_row("j")
+
+    def test_usable_as_dict_key(self):
+        d = {Region.literal((1, 4)): "x"}
+        assert d[Region.literal((1, 4))] == "x"
+
+    def test_str(self):
+        assert str(Region.literal((1, 4), (2, 2))) == "[1..4, 2]"
+
+
+class TestOverlap:
+    def test_same_region_overlaps(self):
+        r = Region.literal((1, 8), (1, 8))
+        assert regions_may_overlap(r, (0, 0), r, (0, 0))
+
+    def test_disjoint_by_offset(self):
+        r = Region.literal((1, 8), (1, 8))
+        assert not regions_may_overlap(r, (0, 0), r, (10, 0))
+
+    def test_adjacent_offset_overlaps(self):
+        r = Region.literal((1, 8), (1, 8))
+        assert regions_may_overlap(r, (0, 0), r, (7, 0))
+
+    def test_dynamic_rows_disjoint(self):
+        # Row i written, row i-1 read: no overlap within one block instance.
+        r = dyn_row()
+        assert not regions_may_overlap(r, (0, 0), r, (-1, 0))
+
+    def test_dynamic_rows_same(self):
+        r = dyn_row()
+        assert regions_may_overlap(r, (0, 0), r, (0, 0))
+
+    def test_different_symbols_conservative(self):
+        # [i, *] vs [j, *]: unknown, must assume overlap.
+        assert regions_may_overlap(dyn_row("i"), (0, 0), dyn_row("j"), (0, 0))
+
+    def test_rank_mismatch_no_overlap(self):
+        assert not regions_may_overlap(
+            Region.literal((1, 4)), (0,), Region.literal((1, 4), (1, 4)), (0, 0)
+        )

@@ -1,0 +1,25 @@
+"""Smoke test for the consolidated reproduction report."""
+
+import pytest
+
+from repro.eval.report import PROFILES, generate_report
+
+
+class TestReport:
+    def test_profiles_declared(self):
+        assert set(PROFILES) == {"fast", "full"}
+
+    def test_unknown_profile(self):
+        with pytest.raises(ValueError):
+            generate_report("warp")
+
+    def test_fast_profile_contains_every_artifact(self):
+        report = generate_report("fast")
+        assert "Figure 6" in report
+        assert "Figure 7" in report
+        assert "Figure 8" in report
+        assert "Cray T3E" in report
+        assert "Section 5.5" in report
+        # Key shape facts visible in the report itself.
+        assert "ZPL 1.13" in report
+        assert "unbounded" in report

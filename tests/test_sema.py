@@ -1,0 +1,204 @@
+"""Tests for semantic analysis."""
+
+import pytest
+
+from repro.lang.sema import check_source, index_array_dimension
+from repro.util.errors import SemanticError
+
+DECLS = """
+program p;
+config n : integer = 8;
+config scale : float = 2.0;
+region R = [1..n, 1..n];
+region Row = [1, 1..n];
+direction north = [-1, 0];
+var A, B : [R] float;
+var V : [1..n] float;
+var M : [R] boolean;
+var s : float;
+var i : integer;
+var flag : boolean;
+begin
+%s
+end;
+"""
+
+
+def check(body):
+    return check_source(DECLS % body)
+
+
+class TestDeclarations:
+    def test_valid_program(self):
+        checked = check("[R] A := B;")
+        assert checked.name == "p"
+        assert len(checked.symtab.arrays()) == 4
+
+    def test_duplicate_declaration(self):
+        source = "program p; var x : float; var x : integer; begin end;"
+        with pytest.raises(SemanticError, match="duplicate"):
+            check_source(source)
+
+    def test_undeclared_region_in_type(self):
+        source = "program p; var A : [Nope] float; begin end;"
+        with pytest.raises(SemanticError):
+            check_source(source)
+
+    def test_config_must_be_constant_kind(self):
+        source = "program p; config b : boolean = true; begin end;"
+        with pytest.raises(SemanticError):
+            check_source(source)
+
+    def test_integer_config_rejects_float_default(self):
+        source = "program p; config n : integer = 1.5; begin end;"
+        with pytest.raises(SemanticError, match="integer"):
+            check_source(source)
+
+
+class TestArrayAssign:
+    def test_rank_mismatch(self):
+        with pytest.raises(SemanticError, match="rank"):
+            check("[R] V := 1.0;")
+
+    def test_scalar_target_rejected(self):
+        with pytest.raises(SemanticError, match="array"):
+            check("[R] s := 1.0;")
+
+    def test_undeclared_target(self):
+        with pytest.raises(SemanticError, match="undeclared"):
+            check("[R] Zz := 1.0;")
+
+    def test_mixed_rank_operands_rejected(self):
+        with pytest.raises(SemanticError, match="rank"):
+            check("[R] A := B + V;")
+
+    def test_scalar_promotes(self):
+        check("[R] A := B + s * 2.0;")
+
+    def test_boolean_into_float_rejected(self):
+        with pytest.raises(SemanticError):
+            check("[R] A := B > 1.0;")
+
+    def test_boolean_into_boolean_allowed(self):
+        check("[R] M := B > 1.0;")
+
+
+class TestRegions:
+    def test_named_region(self):
+        check("[Row] A := 1.0;")
+
+    def test_degenerate_loop_var_region(self):
+        check("for i := 1 to n do [i, 1..n] A := 1.0; end;")
+
+    def test_inline_region(self):
+        check("[2..n-1, 2..n-1] A := 1.0;")
+
+    def test_non_region_name_rejected(self):
+        with pytest.raises(SemanticError):
+            check("[s] V := 1.0;")
+
+    def test_float_bounds_rejected(self):
+        with pytest.raises(SemanticError, match="integer"):
+            check("[1..n, 1..scale] A := 1.0;")
+
+
+class TestOffsets:
+    def test_named_direction_resolved(self):
+        checked = check("[R] A := B@north;")
+        # Resolution rewrites the name into a component tuple.
+        stmt = checked.program.body[0]
+        assert stmt.value.direction == (-1, 0)
+
+    def test_direction_rank_mismatch(self):
+        with pytest.raises(SemanticError, match="rank"):
+            check("[R] A := B@(1,);".replace("(1,)", "(1, 2, 3)"))
+
+    def test_offset_on_scalar_rejected(self):
+        with pytest.raises(SemanticError):
+            check("[R] A := s@(1, 0);")
+
+    def test_offset_through_non_direction_name(self):
+        with pytest.raises(SemanticError, match="not a direction"):
+            check("[R] A := B@s;")
+
+
+class TestScalarContext:
+    def test_array_in_scalar_assign_rejected(self):
+        with pytest.raises(SemanticError, match="reduction"):
+            check("s := A;")
+
+    def test_reduction_makes_scalar(self):
+        check("s := +<< [R] A;")
+
+    def test_reduction_of_scalar_rejected(self):
+        with pytest.raises(SemanticError, match="array"):
+            check("s := +<< [R] (s + 1.0);")
+
+    def test_reduction_region_rank_mismatch(self):
+        with pytest.raises(SemanticError):
+            check("s := +<< [1..n] A;")
+
+    def test_condition_must_be_boolean(self):
+        with pytest.raises(SemanticError, match="boolean"):
+            check("if s then s := 1.0; end;")
+
+    def test_while_condition_boolean(self):
+        with pytest.raises(SemanticError, match="boolean"):
+            check("while i do s := 1.0; end;")
+
+    def test_float_into_integer_scalar_rejected(self):
+        with pytest.raises(SemanticError):
+            check("i := 1.5;")
+
+
+class TestForLoops:
+    def test_loop_var_must_be_integer(self):
+        with pytest.raises(SemanticError, match="integer"):
+            check("for s := 1 to 4 do i := 1; end;")
+
+    def test_loop_var_must_be_declared(self):
+        with pytest.raises(SemanticError, match="undeclared"):
+            check("for k := 1 to 4 do i := 1; end;")
+
+    def test_bounds_must_be_integers(self):
+        with pytest.raises(SemanticError, match="integer"):
+            check("for i := 1 to scale do s := 1.0; end;")
+
+
+class TestIndexArrays:
+    def test_index_dimension_parsing(self):
+        assert index_array_dimension("Index1") == 1
+        assert index_array_dimension("Index12") == 12
+        assert index_array_dimension("Index") is None
+        assert index_array_dimension("index1") is None
+
+    def test_index_in_array_statement(self):
+        check("[R] A := Index1 + Index2 * 2;")
+
+    def test_index_beyond_rank_rejected(self):
+        with pytest.raises(SemanticError, match="rank"):
+            check("[R] A := Index3;")
+
+    def test_index_in_scalar_context_rejected(self):
+        with pytest.raises(SemanticError):
+            check("s := Index1;")
+
+    def test_index_inside_reduction(self):
+        check("s := +<< [R] (A * Index1);")
+
+
+class TestIntrinsics:
+    def test_unknown_function(self):
+        with pytest.raises(SemanticError, match="unknown function"):
+            check("s := frobnicate(1.0);")
+
+    def test_wrong_arity(self):
+        with pytest.raises(SemanticError, match="argument"):
+            check("s := sqrt(1.0, 2.0);")
+
+    def test_boolean_arg_rejected(self):
+        with pytest.raises(SemanticError):
+            check("s := sqrt(flag);")
+
+    def test_elementwise_intrinsic(self):
+        check("[R] A := sqrt(B) + min(A@(0,1), 2.0);")

@@ -1,0 +1,167 @@
+"""Tests for constant folding and algebraic simplification."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.fusion import C2, plan_program
+from repro.interp import run_reference, run_scalarized
+from repro.interp.evalexpr import eval_point
+from repro.ir import ArrayRef, BinOp, Call, Const, ScalarRef, UnOp, normalize_source
+from repro.ir.simplify import simplify_expr, simplify_program
+from repro.scalarize import scalarize
+
+
+class TestFolding:
+    def test_arithmetic_folds(self):
+        expr = BinOp("*", Const(2.0), Const(0.5))
+        assert simplify_expr(expr).value == 1.0
+
+    def test_nested_folds(self):
+        expr = BinOp("+", BinOp("*", Const(2.0), Const(3.0)), Const(4.0))
+        assert simplify_expr(expr).value == 10.0
+
+    def test_division_by_zero_not_folded(self):
+        expr = BinOp("/", Const(1.0), Const(0.0))
+        folded = simplify_expr(expr)
+        assert isinstance(folded, BinOp)
+
+    def test_call_folds(self):
+        expr = Call("sqrt", (Const(16.0),))
+        assert simplify_expr(expr).value == 4.0
+
+    def test_call_domain_error_not_folded(self):
+        expr = Call("log", (Const(-1.0),))
+        assert isinstance(simplify_expr(expr), Call)
+
+    def test_unary_folds(self):
+        assert simplify_expr(UnOp("-", Const(3.0))).value == -3.0
+
+    def test_double_negation(self):
+        x = ScalarRef("x")
+        assert simplify_expr(UnOp("-", UnOp("-", x))) is x
+
+
+class TestIdentities:
+    X = ArrayRef("X", (0, 0))
+
+    def test_add_zero(self):
+        assert simplify_expr(BinOp("+", self.X, Const(0.0))) is self.X
+        assert simplify_expr(BinOp("+", Const(0.0), self.X)) is self.X
+
+    def test_sub_zero(self):
+        assert simplify_expr(BinOp("-", self.X, Const(0.0))) is self.X
+
+    def test_mul_one(self):
+        assert simplify_expr(BinOp("*", self.X, Const(1.0))) is self.X
+        assert simplify_expr(BinOp("*", Const(1.0), self.X)) is self.X
+
+    def test_div_one(self):
+        assert simplify_expr(BinOp("/", self.X, Const(1.0))) is self.X
+
+    def test_pow_one(self):
+        assert simplify_expr(BinOp("^", self.X, Const(1.0))) is self.X
+
+    def test_mul_zero_not_folded(self):
+        # x * 0 must keep NaN/inf propagation.
+        expr = BinOp("*", self.X, Const(0.0))
+        assert isinstance(simplify_expr(expr), BinOp)
+
+    def test_boolean_consts_untouched(self):
+        expr = BinOp("and", Const(True), Const(False))
+        assert isinstance(simplify_expr(expr), BinOp)
+
+
+def leaf_exprs():
+    return st.one_of(
+        st.floats(-8, 8, allow_nan=False).map(lambda v: Const(round(v, 2))),
+        st.just(ScalarRef("x")),
+        st.just(ArrayRef("A", (0, 0))),
+    )
+
+
+def random_exprs(depth=3):
+    if depth == 0:
+        return leaf_exprs()
+    sub = random_exprs(depth - 1)
+    return st.one_of(
+        leaf_exprs(),
+        st.builds(
+            BinOp, st.sampled_from(["+", "-", "*"]), sub, sub
+        ),
+        st.builds(UnOp, st.just("-"), sub),
+        st.builds(lambda a: Call("abs", (a,)), sub),
+    )
+
+
+class TestSemanticsPreservation:
+    @given(random_exprs())
+    def test_simplified_evaluates_identically(self, expr):
+        simplified = simplify_expr(expr)
+
+        def element(name, offset):
+            return 2.5
+
+        env = {"x": -1.25}
+        original = eval_point(expr, env, element, (1, 1))
+        folded = eval_point(simplified, env, element, (1, 1))
+        assert np.isclose(float(original), float(folded), equal_nan=True)
+
+    @given(random_exprs())
+    def test_never_more_ops(self, expr):
+        assert simplify_expr(expr).op_count() <= expr.op_count()
+
+
+class TestProgramPass:
+    SOURCE = """
+program s;
+config n : integer = 6;
+config two : float = 2.0;
+region R = [1..n, 1..n];
+var A, B : [R] float;
+var total : float;
+begin
+  [R] A := (Index1 * 1.0) * (two * 0.5) + 0.0;
+  [R] B := A / 1.0 + sqrt(4.0);
+  total := +<< [R] B;
+end;
+"""
+
+    def test_ops_reduced_and_semantics_kept(self):
+        baseline = normalize_source(self.SOURCE)
+        reference = run_reference(baseline)
+
+        program = simplify_program(normalize_source(self.SOURCE))
+        before_ops = sum(
+            stmt.rhs.op_count() for stmt in baseline.array_statements()
+        )
+        after_ops = sum(
+            stmt.rhs.op_count() for stmt in program.array_statements()
+        )
+        assert after_ops < before_ops
+
+        result = run_scalarized(scalarize(program, plan_program(program, C2)))
+        assert np.isclose(
+            float(result.scalars["total"]), float(reference.scalars["total"])
+        )
+
+    def test_loop_bounds_simplified(self):
+        source = """
+program p;
+config n : integer = 4;
+region R = [1..n];
+var V : [R] float;
+var i : integer;
+begin
+  for i := 1 + 0 to n do
+    [R] V := 1.0;
+  end;
+end;
+"""
+        program = simplify_program(normalize_source(source))
+        loop = program.body[0]
+        assert isinstance(loop.lo, Const)
+        assert loop.lo.value == 1

@@ -1,0 +1,60 @@
+"""Tests for text-table rendering and percent helpers."""
+
+import pytest
+
+from repro.util.tables import format_cell, improvement_over, percent, render_table
+
+
+class TestFormatCell:
+    def test_none_is_na(self):
+        assert format_cell(None) == "na"
+
+    def test_bool(self):
+        assert format_cell(True) == "yes"
+        assert format_cell(False) == "no"
+
+    def test_float_one_decimal(self):
+        assert format_cell(3.14159) == "3.1"
+        assert format_cell(-0.05) == "-0.1"
+
+    def test_int_and_str(self):
+        assert format_cell(42) == "42"
+        assert format_cell("x") == "x"
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(["a", "bb"], [[1, 2], [333, 4]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert all(len(line) <= len(max(lines, key=len)) for line in lines)
+        assert "333" in lines[3]
+
+    def test_title(self):
+        text = render_table(["x"], [[1]], title="T")
+        assert text.splitlines()[0] == "T"
+        assert text.splitlines()[1] == "="
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+
+class TestPercent:
+    def test_percent(self):
+        assert percent(10, 15) == 50.0
+        assert percent(10, 5) == -50.0
+
+    def test_percent_zero_base(self):
+        with pytest.raises(ValueError):
+            percent(0, 5)
+
+    def test_improvement_over(self):
+        # Baseline 5x slower than optimized -> 400% improvement.
+        assert improvement_over(500.0, 100.0) == 400.0
+        assert improvement_over(100.0, 100.0) == 0.0
+        assert improvement_over(80.0, 100.0) == -20.0
+
+    def test_improvement_requires_positive_time(self):
+        with pytest.raises(ValueError):
+            improvement_over(100.0, 0.0)

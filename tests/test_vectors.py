@@ -1,0 +1,140 @@
+"""Unit and property tests for integer-vector utilities."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util import vectors as V
+
+
+class TestBasics:
+    def test_vec_builds_tuple(self):
+        assert V.vec(1, -2, 3) == (1, -2, 3)
+
+    def test_zero(self):
+        assert V.zero(3) == (0, 0, 0)
+        assert V.zero(0) == ()
+
+    def test_zero_negative_rank_rejected(self):
+        with pytest.raises(ValueError):
+            V.zero(-1)
+
+    def test_is_zero(self):
+        assert V.is_zero((0, 0))
+        assert not V.is_zero((0, 1))
+        assert V.is_zero(())
+
+    def test_add_sub(self):
+        assert V.add((1, 2), (3, -4)) == (4, -2)
+        assert V.sub((1, 2), (3, -4)) == (-2, 6)
+
+    def test_rank_mismatch(self):
+        with pytest.raises(ValueError):
+            V.add((1,), (1, 2))
+        with pytest.raises(ValueError):
+            V.sub((1, 2, 3), (1, 2))
+
+    def test_negate(self):
+        assert V.negate((1, -2, 0)) == (-1, 2, 0)
+
+    def test_manhattan(self):
+        assert V.manhattan((1, -2, 3)) == 6
+        assert V.manhattan(()) == 0
+
+
+class TestLexicographic:
+    def test_null_vector_is_nonnegative(self):
+        assert V.lex_nonnegative((0, 0, 0))
+
+    def test_positive_leading(self):
+        assert V.lex_nonnegative((1, -5))
+        assert V.lex_positive((1, -5))
+
+    def test_negative_leading(self):
+        assert not V.lex_nonnegative((-1, 5))
+        assert not V.lex_positive((-1, 5))
+
+    def test_zero_then_negative(self):
+        assert not V.lex_nonnegative((0, -1))
+
+    def test_null_not_lex_positive(self):
+        assert not V.lex_positive((0, 0))
+
+    @given(st.lists(st.integers(-5, 5), min_size=1, max_size=4))
+    def test_positive_implies_nonnegative(self, components):
+        v = tuple(components)
+        if V.lex_positive(v):
+            assert V.lex_nonnegative(v)
+
+    @given(st.lists(st.integers(-5, 5), min_size=1, max_size=4))
+    def test_negation_antisymmetry(self, components):
+        v = tuple(components)
+        if not V.is_zero(v):
+            assert V.lex_positive(v) != V.lex_positive(V.negate(v))
+
+
+class TestConstrain:
+    def test_paper_example(self):
+        # Section 2.2: UDVs (-1,0) and (1,-1) constrained by p = (-2,-1)
+        # become (0,1) and (1,-1)... the paper constrains (-1,0) -> (0,1)
+        # and (1,-1) -> (1,-1) under p=(-2,-1): d_i = sign(p_i)*u_{|p_i|}.
+        assert V.constrain((-1, 0), (-2, -1)) == (0, 1)
+        assert V.constrain((1, -1), (-2, -1)) == (1, -1)
+
+    def test_identity(self):
+        assert V.constrain((3, -2), (1, 2)) == (3, -2)
+
+    def test_swap(self):
+        assert V.constrain((3, -2), (2, 1)) == (-2, 3)
+
+    def test_reversal(self):
+        assert V.constrain((3, -2), (-1, 2)) == (-3, -2)
+
+    def test_zero_component_rejected(self):
+        with pytest.raises(ValueError):
+            V.constrain((1, 2), (0, 1))
+
+    def test_out_of_range_dimension_rejected(self):
+        with pytest.raises(ValueError):
+            V.constrain((1, 2), (1, 3))
+
+
+class TestLoopStructureVectors:
+    def test_identity_is_valid(self):
+        assert V.is_loop_structure_vector(V.identity_loop_structure(3))
+
+    def test_signed_permutations_valid(self):
+        assert V.is_loop_structure_vector((-2, 1))
+        assert V.is_loop_structure_vector((3, -1, 2))
+
+    def test_repeated_dim_invalid(self):
+        assert not V.is_loop_structure_vector((1, 1))
+
+    def test_zero_invalid(self):
+        assert not V.is_loop_structure_vector((0, 1))
+
+    def test_out_of_range_invalid(self):
+        assert not V.is_loop_structure_vector((1, 3))
+
+
+class TestFormatting:
+    def test_format(self):
+        assert V.format_vector((1, -2)) == "(1, -2)"
+
+    def test_parse_roundtrip(self):
+        assert V.parse_vector("(1, -2, 3)") == (1, -2, 3)
+        assert V.parse_vector("4,5") == (4, 5)
+        assert V.parse_vector("()") == ()
+
+    @given(st.lists(st.integers(-100, 100), min_size=0, max_size=5))
+    def test_format_parse_roundtrip(self, components):
+        v = tuple(components)
+        assert V.parse_vector(V.format_vector(v)) == v
+
+
+class TestMaxAbs:
+    def test_max_abs_per_dim(self):
+        assert V.max_abs_per_dim([(1, -3), (-2, 1)]) == (2, 3)
+
+    def test_empty(self):
+        assert V.max_abs_per_dim([]) == ()
