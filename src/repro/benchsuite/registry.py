@@ -36,6 +36,26 @@ class Benchmark:
     def test_program(self) -> IRProgram:
         return normalize_source(self.source, self.test_config)
 
+    def execute(
+        self,
+        level,
+        backend: str = "interp",
+        config: Optional[Mapping[str, int]] = None,
+    ):
+        """Compile at ``level`` and run on ``backend``.
+
+        Returns an :class:`repro.exec.ExecutionResult`; ``config`` defaults
+        to the (small) test configuration so callers get quick runs.
+        """
+        from repro.exec import execute
+        from repro.scalarize import compile_program
+
+        if config is None:
+            program = self.test_program()
+        else:
+            program = self.program(config)
+        return execute(compile_program(program, level), backend)
+
     def __repr__(self) -> str:
         return "Benchmark(%s)" % self.name
 

@@ -9,7 +9,8 @@ Commands
     or generated Python.
 
 ``run FILE``
-    Compile and execute (generated-Python back end); print final scalars.
+    Compile and execute on a selectable back end (``--backend interp``,
+    ``codegen_py`` or ``codegen_np``); print final scalars.
 
 ``estimate FILE``
     Compile and estimate execution cost on a machine model, optionally for
@@ -26,12 +27,12 @@ import sys
 from typing import Dict, List, Optional
 
 from repro.deps import build_asdg
+from repro.exec import BACKEND_CHOICES, execute
 from repro.fusion import LEVELS_BY_NAME, C2P, plan_program
-from repro.interp import run_scalarized
 from repro.ir import normalize_source
 from repro.machine import MACHINES_BY_NAME, estimate_sequential
 from repro.parallel import estimate_parallel
-from repro.scalarize import render_c, render_python, scalarize
+from repro.scalarize import render_c, render_numpy, render_python, scalarize
 from repro.util.errors import ReproError
 
 _MACHINE_ALIASES = {
@@ -97,15 +98,16 @@ def _build_parser() -> argparse.ArgumentParser:
     compile_parser.add_argument(
         "--emit",
         default="c",
-        choices=("ir", "asdg", "plan", "c", "py"),
+        choices=("ir", "asdg", "plan", "c", "py", "np"),
         help="what to print (default: generated C)",
     )
 
     run_parser = sub.add_parser("run", help="compile and execute")
     common(run_parser)
     run_parser.add_argument(
-        "--backend", default="interp", choices=("interp", "codegen"),
-        help="execute via the loop interpreter or generated Python",
+        "--backend", default="interp", choices=BACKEND_CHOICES,
+        help="execution back end: loop interpreter, generated Python "
+        "element loops, or generated whole-region NumPy",
     )
 
     estimate_parser = sub.add_parser("estimate", help="estimate cost")
@@ -156,6 +158,8 @@ def cmd_compile(args) -> int:
     scalar_program = scalarize(program, plan)
     if args.emit == "c":
         print(render_c(scalar_program), end="")
+    elif args.emit == "np":
+        print(render_numpy(scalar_program), end="")
     else:
         print(render_python(scalar_program), end="")
     return 0
@@ -164,12 +168,7 @@ def cmd_compile(args) -> int:
 def cmd_run(args) -> int:
     program, plan = _compile(args)
     scalar_program = scalarize(program, plan)
-    if args.backend == "codegen":
-        from repro.scalarize import execute_python
-
-        _arrays, scalars = execute_python(scalar_program)
-    else:
-        scalars = run_scalarized(scalar_program).scalars
+    scalars = execute(scalar_program, args.backend).scalars
     for name in sorted(scalars):
         if name.startswith("_") or name.endswith("__s"):
             continue

@@ -1,0 +1,21 @@
+"""Execution back ends behind one registry (see :mod:`repro.exec.backends`)."""
+
+from repro.exec.backends import (
+    ALIASES,
+    BACKEND_CHOICES,
+    BACKENDS,
+    Backend,
+    ExecutionResult,
+    execute,
+    get_backend,
+)
+
+__all__ = [
+    "ALIASES",
+    "BACKEND_CHOICES",
+    "BACKENDS",
+    "Backend",
+    "ExecutionResult",
+    "execute",
+    "get_backend",
+]

@@ -12,7 +12,7 @@ innermost loop, exploiting spatial locality under row-major allocation.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import FrozenSet, Iterable, List, Optional, Sequence
 
 from repro.util.vectors import IntVector, constrain, lex_nonnegative
 
@@ -63,6 +63,43 @@ def _direction_for_dimension(udvs: Sequence[IntVector], j: int) -> int:
         # branch failed.
         return -1
     return 0
+
+
+def carried_levels(
+    structure: IntVector, udvs: Iterable[IntVector]
+) -> FrozenSet[int]:
+    """The loop levels (0-based, outermost first) that carry a dependence.
+
+    A dependence with constrained distance vector ``d`` is *carried* by the
+    outermost loop level at which ``d`` is non-zero; dependences with null
+    constrained vectors (both endpoints in the same iteration) are carried by
+    no loop.  Loops that carry no dependence iterate over independent index
+    points and may be executed in any order — or as one whole-array
+    operation, which is exactly the legality condition the vectorizing
+    back end (:mod:`repro.scalarize.codegen_np`) needs.
+    """
+    levels = set()
+    for u in udvs:
+        d = constrain(u, structure)
+        for level, component in enumerate(d):
+            if component != 0:
+                levels.add(level)
+                break
+    return frozenset(levels)
+
+
+def serial_depth(structure: IntVector, udvs: Iterable[IntVector]) -> int:
+    """How many outermost loops must stay serial to preserve all ``udvs``.
+
+    Every dependence is preserved once the loop carrying it executes
+    serially (outer iterations complete before later ones begin), so the
+    loops below ``serial_depth`` — and the statements within one iteration
+    of the serial prefix — can be executed as whole-slice operations.
+    Returns 0 when no dependence is loop-carried (the entire nest is a
+    dependence-free sweep).
+    """
+    levels = carried_levels(structure, udvs)
+    return max(levels) + 1 if levels else 0
 
 
 def structure_preserves(

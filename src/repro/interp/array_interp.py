@@ -38,9 +38,10 @@ class ArrayInterpreter:
     def __init__(self, program: IRProgram) -> None:
         self.program = program
         self.storage = Storage()
+        self._config_env = program.config_env()
         for name, info in program.arrays.items():
             self.storage.allocate_array(
-                name, program.allocation_region(name), info.elem_kind
+                name, program.allocation_region(name), info.elem_kind, self._config_env
             )
         for name, info in program.scalars.items():
             self.storage.declare_scalar(name, info.kind)
@@ -100,11 +101,12 @@ class ArrayInterpreter:
     # -- array statements ----------------------------------------------------
 
     def _region_bounds(self, region: Region) -> Tuple[Tuple[int, int], ...]:
-        env = {
-            name: int(value)
+        env = dict(self._config_env)
+        env.update(
+            (name, int(value))
             for name, value in self.storage.scalars.items()
             if isinstance(value, (int, np.integer))
-        }
+        )
         return region.concrete_bounds(env)
 
     def _execute_array(self, stmt: ArrayStatement) -> None:

@@ -41,14 +41,19 @@ class LoopInterpreter:
     """Executes a :class:`ScalarProgram`."""
 
     def __init__(self, program: ScalarProgram) -> None:
+        from repro.scalarize.emit_common import int_config_env
+
         self.program = program
         self.storage = Storage()
+        self._config_env = int_config_env(program.configs)
         for name, (region, kind) in program.array_allocs.items():
             if name in program.partial:
                 dim, depth = program.partial[name]
-                self.storage.allocate_buffer(name, region, kind, dim, depth)
+                self.storage.allocate_buffer(
+                    name, region, kind, dim, depth, self._config_env
+                )
             else:
-                self.storage.allocate_array(name, region, kind)
+                self.storage.allocate_array(name, region, kind, self._config_env)
         for name, kind in program.scalars.items():
             self.storage.declare_scalar(name, kind)
         self._steps = 0
@@ -66,11 +71,13 @@ class LoopInterpreter:
             raise InterpError("step limit exceeded (runaway loop?)")
 
     def _int_env(self):
-        return {
-            name: int(value)
+        env = dict(self._config_env)
+        env.update(
+            (name, int(value))
             for name, value in self.storage.scalars.items()
             if isinstance(value, (int, np.integer))
-        }
+        )
+        return env
 
     def _execute_body(self, body: List[SNode]) -> None:
         for node in body:

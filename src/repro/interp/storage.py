@@ -9,11 +9,12 @@ edges.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
 from repro.ir.region import Region
+from repro.scalarize.emit_common import slice_start_stop
 from repro.util.errors import InterpError
 
 _DTYPES = {"float": np.float64, "integer": np.int64, "boolean": np.bool_}
@@ -33,21 +34,34 @@ class Storage:
 
     # -- construction ------------------------------------------------------
 
-    def allocate_array(self, name: str, region: Region, kind: str) -> None:
-        """Allocate ``name`` over a constant region."""
-        bounds = region.concrete_bounds({})
+    def allocate_array(
+        self,
+        name: str,
+        region: Region,
+        kind: str,
+        env: Optional[Mapping[str, int]] = None,
+    ) -> None:
+        """Allocate ``name`` over a region; ``env`` binds config scalars
+        appearing in its bounds."""
+        bounds = region.concrete_bounds(dict(env) if env else {})
         shape = tuple(max(hi - lo + 1, 1) for lo, hi in bounds)
         self.arrays[name] = np.zeros(shape, dtype=_DTYPES[kind])
         self.bases[name] = tuple(lo for lo, _hi in bounds)
 
     def allocate_buffer(
-        self, name: str, region: Region, kind: str, dim: int, depth: int
+        self,
+        name: str,
+        region: Region,
+        kind: str,
+        dim: int,
+        depth: int,
+        env: Optional[Mapping[str, int]] = None,
     ) -> None:
         """Allocate a partially contracted array: ``depth`` rows along ``dim``.
 
         Indices along ``dim`` are taken modulo ``depth`` on every access.
         """
-        bounds = list(region.concrete_bounds({}))
+        bounds = list(region.concrete_bounds(dict(env) if env else {}))
         bounds[dim - 1] = (0, depth - 1)
         shape = tuple(max(hi - lo + 1, 1) for lo, hi in bounds)
         self.arrays[name] = np.zeros(shape, dtype=_DTYPES[kind])
@@ -103,8 +117,7 @@ class Storage:
         base = self.bases[name]
         slices: List[slice] = []
         for (lo, hi), off, b in zip(bounds, offset, base):
-            start = lo + off - b
-            stop = hi + off - b + 1
+            start, stop = slice_start_stop(lo, hi, off, b)
             if start < 0 or stop > array.shape[len(slices)]:
                 raise InterpError(
                     "reference to %s at offset %r escapes its allocation "

@@ -1,6 +1,7 @@
 """Scalarization: fusible clusters to loop nests, contraction to scalars."""
 
 from repro.scalarize.codegen_c import CGenerator, render_c
+from repro.scalarize.codegen_np import NumpyGenerator, execute_numpy, render_numpy
 from repro.scalarize.codegen_py import PyGenerator, execute_python, render_python
 from repro.scalarize.loopnest import (
     ElemAssign,
@@ -25,8 +26,11 @@ from repro.scalarize.scalarizer import (
 __all__ = [
     "CGenerator",
     "ElemAssign",
+    "NumpyGenerator",
     "PyGenerator",
+    "execute_numpy",
     "execute_python",
+    "render_numpy",
     "render_python",
     "LoopNest",
     "ReductionLoop",

@@ -5,17 +5,31 @@ function (explicit loops over numpy arrays, exactly the loop structure the
 scalarizer chose) and ``exec``-utes it.  Runs much faster than the
 tree-walking interpreter and cross-validates code generation — the tests
 require codegen output, interpreter output and reference semantics to agree.
+
+The vectorizing back end (:mod:`repro.scalarize.codegen_np`) subclasses
+:class:`PyGenerator`, overriding loop-nest and reduction emission with
+whole-region slice operations; everything the two back ends must agree on
+lives in :mod:`repro.scalarize.emit_common`.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.ir import expr as ir
 from repro.ir.region import Region
+from repro.scalarize.emit_common import (
+    DTYPES,
+    PY_INTRINSICS,
+    SCALAR_INIT,
+    bound_text,
+    infer_expr_kind,
+    int_config_env,
+    reduce_init_literal,
+)
 from repro.scalarize.loopnest import (
     ElemAssign,
     LoopNest,
@@ -31,49 +45,74 @@ from repro.scalarize.loopnest import (
 )
 from repro.util.errors import ScalarizationError
 
-_DTYPES = {"float": "float64", "integer": "int64", "boolean": "bool_"}
-
-_SCALAR_INIT = {"float": "0.0", "integer": "0", "boolean": "False"}
-
-_PY_INTRINSICS = {
-    "sqrt": "math.sqrt",
-    "exp": "math.exp",
-    "log": "math.log",
-    "sin": "math.sin",
-    "cos": "math.cos",
-    "tan": "math.tan",
-    "atan": "math.atan",
-    "abs": "abs",
-    "floor": "math.floor",
-    "ceil": "math.ceil",
-    "min": "min",
-    "max": "max",
-    "pow": "math.pow",
-    "mod": "math.fmod",
-}
-
-_REDUCE_INIT = {"+": "0.0", "*": "1.0", "max": "-math.inf", "min": "math.inf"}
-
 
 class PyGenerator:
     """Emits a Python module whose ``run()`` returns the final state."""
 
-    def __init__(self, program: ScalarProgram) -> None:
+    def __init__(
+        self, program: ScalarProgram, env: Optional[Dict[str, int]] = None
+    ) -> None:
         self._program = program
         self._lines: List[str] = []
         self._bases: Dict[str, Tuple[int, ...]] = {}
+        #: Config environment for evaluating region bounds at generation
+        #: time (allocations, halo fills) — the codegen analogue of the
+        #: interpreter's ``_int_env()``.
+        self._env: Dict[str, int] = (
+            dict(env) if env is not None else int_config_env(program.configs)
+        )
 
-    def render(self) -> str:
-        self._lines = [
+    def _preamble(self) -> List[str]:
+        return [
             "import math",
             "import numpy as np",
             "",
+            "from repro.util.errors import InterpError",
+            "",
             "def run():",
         ]
+
+    def render(self) -> str:
+        self._lines = self._preamble()
+        self._emit_config_bindings()
         self._emit_allocations()
         self._emit_body(self._program.body, 1)
         self._emit_return()
         return "\n".join(self._lines) + "\n"
+
+    def _region_free_variables(self) -> set:
+        """Names referenced symbolically by any region bound in the program."""
+        regions = [region for region, _kind in self._program.array_allocs.values()]
+
+        def visit(body) -> None:
+            for node in body:
+                region = getattr(node, "region", None)
+                if region is not None:
+                    regions.append(region)
+                for attr in ("body", "then_body", "else_body"):
+                    inner = getattr(node, attr, None)
+                    if isinstance(inner, list):
+                        visit(inner)
+
+        visit(self._program.body)
+        names = set()
+        for region in regions:
+            for lo, hi in region.dims:
+                names.update(lo.free_variables())
+                names.update(hi.free_variables())
+        return names
+
+    def _emit_config_bindings(self) -> None:
+        """Bind configuration scalars that region bounds reference by name.
+
+        Loop headers, slices and guards render symbolic bounds textually
+        (e.g. ``range(1, n + 1)``), so those names must exist in the
+        generated function.  Loop variables are assigned by their own
+        loops; only configuration bindings need materializing.
+        """
+        free = self._region_free_variables()
+        for name in sorted(free & set(self._env)):
+            self._emit("%s = %d" % (name, self._env[name]))
 
     # ------------------------------------------------------------------
 
@@ -82,14 +121,14 @@ class PyGenerator:
 
     def _emit_allocations(self) -> None:
         for name, (region, kind) in self._program.array_allocs.items():
-            bounds = region.concrete_bounds({})
+            bounds = region.concrete_bounds(self._env)
             shape = tuple(max(hi - lo + 1, 1) for lo, hi in bounds)
             self._bases[name] = tuple(lo for lo, _hi in bounds)
             self._emit(
-                "%s = np.zeros(%r, dtype=np.%s)" % (name, shape, _DTYPES[kind])
+                "%s = np.zeros(%r, dtype=np.%s)" % (name, shape, DTYPES[kind])
             )
         for name, kind in self._program.scalars.items():
-            self._emit("%s = %s" % (name, _SCALAR_INIT[kind]))
+            self._emit("%s = %s" % (name, SCALAR_INIT[kind]))
 
     def _emit_return(self) -> None:
         arrays = ", ".join(
@@ -182,8 +221,38 @@ class PyGenerator:
                     inner,
                 )
 
+    def _reduction_kind(self, node: ReductionLoop) -> str:
+        array_kinds = {
+            name: kind for name, (_region, kind) in self._program.array_allocs.items()
+        }
+        return infer_expr_kind(node.operand, array_kinds, self._program.scalars)
+
+    def _emit_empty_reduction_guard(self, region: Region, depth: int) -> None:
+        """Raise on reductions over empty regions, as the interpreter does.
+
+        Constant bounds are decided at generation time; symbolic bounds
+        (dynamic regions) emit a runtime check.
+        """
+        clauses: List[str] = []
+        statically_empty = False
+        for lo, hi in region.dims:
+            extent = hi - lo
+            if extent.is_constant:
+                if extent.const < 0:
+                    statically_empty = True
+            else:
+                clauses.append("%s < %s" % (bound_text(hi), bound_text(lo)))
+        message = "reduction over an empty region"
+        if statically_empty:
+            self._emit("raise InterpError(%r)" % message, depth)
+        elif clauses:
+            self._emit("if %s:" % " or ".join(clauses), depth)
+            self._emit("raise InterpError(%r)" % message, depth + 1)
+
     def _emit_reduction(self, node: ReductionLoop, depth: int) -> None:
-        self._emit("%s = %s" % (node.target, _REDUCE_INIT[node.op]), depth)
+        self._emit_empty_reduction_guard(node.region, depth)
+        init = reduce_init_literal(node.op, self._reduction_kind(node))
+        self._emit("%s = %s" % (node.target, init), depth)
         structure = tuple(range(1, node.region.rank + 1))
         inner = self._emit_loop_headers(node.region, structure, depth)
         value = self._expr(node.operand)
@@ -193,14 +262,12 @@ class PyGenerator:
         )
 
     def _emit_boundary(self, node: SBoundary, depth: int) -> None:
-        """Halo fill as per-plane numpy copies (bounds are constant)."""
-        bounds = node.region.concrete_bounds({})
+        """Halo fill as per-plane numpy copies (bounds are constant or
+        config-dependent; the config environment resolves the latter)."""
+        bounds = node.region.concrete_bounds(self._env)
         bases = self._bases[node.array]
-        shape = None
-        # Recover the allocation shape from the emitted zeros(...) by
-        # consulting the program's allocation table.
         region, _kind = self._program.array_allocs[node.array]
-        alloc = region.concrete_bounds({})
+        alloc = region.concrete_bounds(self._env)
         for dim, ((lo, hi), (alo, ahi)) in enumerate(zip(bounds, alloc)):
             lo_raw = lo - bases[dim]
             hi_raw = hi - bases[dim]
@@ -212,7 +279,6 @@ class PyGenerator:
             for raw in range(hi_raw + 1, extent):
                 src = self._boundary_source(node.kind, raw, lo_raw, hi_raw, period)
                 self._emit_plane_copy(node.array, dim, raw, src, len(bounds), depth)
-        del shape
 
     @staticmethod
     def _boundary_source(kind: str, raw: int, lo: int, hi: int, period: int) -> int:
@@ -285,7 +351,12 @@ class PyGenerator:
                 return "(not %s)" % self._expr(expr.operand)
             return "(%s%s)" % (expr.op, self._expr(expr.operand))
         if isinstance(expr, ir.Call):
-            fn = _PY_INTRINSICS.get(expr.name)
+            if expr.name == "mod":
+                # Floored modulo, matching the interpreter's np.mod (the
+                # sign follows the divisor; math.fmod follows the dividend).
+                left, right = expr.args
+                return "(%s %% %s)" % (self._expr(left), self._expr(right))
+            fn = PY_INTRINSICS.get(expr.name)
             if fn is None:
                 if expr.name == "sign":
                     (arg,) = expr.args
@@ -299,18 +370,26 @@ class PyGenerator:
         raise ScalarizationError("cannot render %r" % expr)
 
 
-def render_python(program: ScalarProgram) -> str:
-    """Render a scalarized program as executable Python source."""
-    return PyGenerator(program).render()
+def render_python(
+    program: ScalarProgram, env: Optional[Dict[str, int]] = None
+) -> str:
+    """Render a scalarized program as executable Python source.
+
+    ``env`` supplies integer bindings for region bounds that reference
+    configuration scalars; it defaults to the program's own config table.
+    """
+    return PyGenerator(program, env).render()
 
 
-def execute_python(program: ScalarProgram):
+def execute_python(
+    program: ScalarProgram, env: Optional[Dict[str, int]] = None
+):
     """Compile and run the generated Python; returns (arrays, scalars).
 
     ``arrays`` maps array names to numpy arrays over their allocation
     regions (same layout as :class:`repro.interp.storage.Storage`).
     """
-    source = render_python(program)
+    source = render_python(program, env)
     namespace: Dict[str, object] = {}
     exec(compile(source, "<repro-codegen>", "exec"), namespace)
     return namespace["run"]()

@@ -1,0 +1,184 @@
+"""Helpers shared by the executable-Python code generators.
+
+Both back ends — the element-loop emitter (:mod:`codegen_py`) and the
+whole-region slice emitter (:mod:`codegen_np`) — agree on dtype mapping,
+scalar initialization, intrinsic spelling, reduction identities and the
+slice/offset translation that turns a region bound plus a constant
+reference offset into a storage index.  This module centralizes those
+rules so the two emitters cannot drift apart, and so they match the
+interpreters in :mod:`repro.interp`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.ir import expr as ir
+from repro.ir.linexpr import LinearExpr
+from repro.util.errors import ScalarizationError
+
+#: Element-kind -> numpy dtype attribute name (matches interp.storage).
+DTYPES = {"float": "float64", "integer": "int64", "boolean": "bool_"}
+
+#: Element-kind -> initial value literal for declared scalars.
+SCALAR_INIT = {"float": "0.0", "integer": "0", "boolean": "False"}
+
+#: Scalar-context intrinsic spelling (element loops; ``mod`` is rendered
+#: inline as floored ``%`` to match ``np.mod``, see ``codegen_py._expr``).
+PY_INTRINSICS = {
+    "sqrt": "math.sqrt",
+    "exp": "math.exp",
+    "log": "math.log",
+    "sin": "math.sin",
+    "cos": "math.cos",
+    "tan": "math.tan",
+    "atan": "math.atan",
+    "abs": "abs",
+    "floor": "math.floor",
+    "ceil": "math.ceil",
+    "min": "min",
+    "max": "max",
+    "pow": "math.pow",
+}
+
+#: Vector-context intrinsic spelling (whole-slice operations; mirrors
+#: ``repro.interp.evalexpr._INTRINSICS`` so codegen_np matches the
+#: interpreters element for element).
+NP_INTRINSICS = {
+    "sqrt": "np.sqrt",
+    "exp": "np.exp",
+    "log": "np.log",
+    "sin": "np.sin",
+    "cos": "np.cos",
+    "tan": "np.tan",
+    "atan": "np.arctan",
+    "abs": "np.abs",
+    "min": "np.minimum",
+    "max": "np.maximum",
+    "pow": "np.power",
+    "mod": "np.mod",
+    "sign": "np.sign",
+}
+
+_INT64_MIN = "-9223372036854775808"
+_INT64_MAX = "9223372036854775807"
+
+_FLOAT_REDUCE_INIT = {"+": "0.0", "*": "1.0", "max": "-math.inf", "min": "math.inf"}
+_INT_REDUCE_INIT = {"+": "0", "*": "1", "max": _INT64_MIN, "min": _INT64_MAX}
+
+
+def reduce_init_literal(op: str, kind: str) -> str:
+    """The reduction identity literal for an accumulator of ``kind``.
+
+    Integer accumulators must start from integer identities: ``0.0 +
+    np.int64`` silently floats an integer reduction, which is the
+    interpreter/codegen divergence this helper exists to prevent.
+    """
+    table = _INT_REDUCE_INIT if kind in ("integer", "boolean") else _FLOAT_REDUCE_INIT
+    init = table.get(op)
+    if init is None:
+        raise ScalarizationError("unknown reduction operator %r" % op)
+    return init
+
+
+_KIND_RANK = {"boolean": 0, "integer": 1, "float": 2}
+
+
+def join_kinds(left: str, right: str) -> str:
+    """The wider of two element kinds (numpy promotion order)."""
+    return left if _KIND_RANK[left] >= _KIND_RANK[right] else right
+
+
+def infer_expr_kind(
+    expr: ir.IRExpr,
+    array_kinds: Mapping[str, str],
+    scalar_kinds: Mapping[str, str],
+) -> str:
+    """Infer the element kind an IR expression evaluates to.
+
+    Mirrors the numpy promotion the interpreters perform, so reduction
+    accumulators can be initialized with the kind the reduction will
+    actually produce (not the declared kind of wherever the value lands).
+    """
+    if isinstance(expr, ir.Const):
+        if isinstance(expr.value, bool):
+            return "boolean"
+        if isinstance(expr.value, int):
+            return "integer"
+        return "float"
+    if isinstance(expr, ir.ScalarRef):
+        return scalar_kinds.get(expr.name, "float")
+    if isinstance(expr, ir.ArrayRef):
+        return array_kinds.get(expr.name, "float")
+    if isinstance(expr, ir.IndexRef):
+        return "integer"
+    if isinstance(expr, ir.BinOp):
+        if expr.op in ("/", "^"):
+            return "float"
+        if expr.op in ("<", "<=", ">", ">=", "=", "!=", "and", "or"):
+            return "boolean"
+        return join_kinds(
+            infer_expr_kind(expr.left, array_kinds, scalar_kinds),
+            infer_expr_kind(expr.right, array_kinds, scalar_kinds),
+        )
+    if isinstance(expr, ir.UnOp):
+        if expr.op == "not":
+            return "boolean"
+        return infer_expr_kind(expr.operand, array_kinds, scalar_kinds)
+    if isinstance(expr, ir.Call):
+        if expr.name in ("floor", "ceil"):
+            return "integer"
+        if expr.name in ("abs", "min", "max", "mod", "sign"):
+            kind = "boolean"
+            for arg in expr.args:
+                kind = join_kinds(
+                    kind, infer_expr_kind(arg, array_kinds, scalar_kinds)
+                )
+            return kind
+        return "float"
+    if isinstance(expr, ir.Reduce):
+        return infer_expr_kind(expr.operand, array_kinds, scalar_kinds)
+    return "float"
+
+
+def int_config_env(configs: Mapping[str, object]) -> Dict[str, int]:
+    """Integer-valued configuration bindings for region-bound evaluation.
+
+    The same filter as :meth:`repro.ir.program.IRProgram.config_env`:
+    region bounds are affine over integers, so only integral configs can
+    appear in them.
+    """
+    env: Dict[str, int] = {}
+    for name, value in configs.items():
+        if isinstance(value, bool):
+            continue
+        if isinstance(value, int):
+            env[name] = value
+        elif isinstance(value, float) and value.is_integer():
+            env[name] = int(value)
+    return env
+
+
+def slice_start_stop(
+    lo: int, hi: int, offset: int, base: int
+) -> Tuple[int, int]:
+    """Translate region bounds + reference offset to storage slice indices.
+
+    The same translation :meth:`repro.interp.storage.Storage.slice_view`
+    performs: element ``p`` of the region read at ``offset`` lives at raw
+    storage index ``p + offset - base``.
+    """
+    return lo + offset - base, hi + offset - base + 1
+
+
+def bound_text(bound: LinearExpr, shift: int = 0) -> str:
+    """Render an affine region bound (plus a constant shift) as Python source.
+
+    Constant bounds fold to a plain literal; symbolic bounds (dynamic
+    regions inside sequential loops) render as an expression over the loop
+    variables, e.g. ``i + 1``.
+    """
+    shifted = bound + shift
+    if shifted.is_constant:
+        return str(shifted.const)
+    return "(%s)" % str(shifted).replace(" ", "")

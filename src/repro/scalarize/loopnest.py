@@ -80,9 +80,16 @@ class LoopNest(SNode):
     ``structure`` is the loop structure vector: loop ``l`` (outermost first)
     iterates over array dimension ``|structure[l]|`` in the direction of its
     sign.  The body executes once per index point, statements in order.
+
+    ``carried_depth`` records how many outermost loops carry an
+    intra-cluster dependence (see
+    :func:`repro.fusion.loopstruct.serial_depth`): 0 means the whole nest is
+    a dependence-free sweep, ``rank`` means every level carries something.
+    ``None`` means the depth is unknown (hand-built nests); executors must
+    then assume the nest is fully serial.
     """
 
-    __slots__ = ("region", "structure", "body", "cluster_id")
+    __slots__ = ("region", "structure", "body", "cluster_id", "carried_depth")
 
     def __init__(
         self,
@@ -90,11 +97,13 @@ class LoopNest(SNode):
         structure: IntVector,
         body: List[ElemAssign],
         cluster_id: int = -1,
+        carried_depth: Optional[int] = None,
     ) -> None:
         self.region = region
         self.structure = tuple(structure)
         self.body = body
         self.cluster_id = cluster_id
+        self.carried_depth = carried_depth
 
     @property
     def rank(self) -> int:

@@ -28,6 +28,7 @@ from repro.ir.statement import (
     WhileStatement,
     basic_blocks,
 )
+from repro.scalarize.emit_common import infer_expr_kind
 from repro.scalarize.loopnest import (
     ElemAssign,
     LoopNest,
@@ -49,16 +50,32 @@ def contraction_scalar(array: str) -> str:
     return array + "__s"
 
 
-def _reduction_init(op: str) -> ir.Const:
-    """The identity element a fused reduction's scalar starts from."""
-    if op == "+":
-        return ir.Const(0.0)
-    if op == "*":
-        return ir.Const(1.0)
-    if op == "max":
-        return ir.Const(-math.inf)
-    if op == "min":
-        return ir.Const(math.inf)
+def _reduction_init(op: str, kind: str = "float") -> ir.Const:
+    """The identity element a fused reduction's scalar starts from.
+
+    The identity must match the kind of the reduced values: a float
+    identity (``0.0``) silently promotes an integer reduction to float,
+    diverging from the reference semantics (``np.sum`` over an int array
+    is an ``np.int64``).
+    """
+    if kind in ("integer", "boolean"):
+        if op == "+":
+            return ir.Const(0)
+        if op == "*":
+            return ir.Const(1)
+        if op == "max":
+            return ir.Const(-(2 ** 63))
+        if op == "min":
+            return ir.Const(2 ** 63 - 1)
+    else:
+        if op == "+":
+            return ir.Const(0.0)
+        if op == "*":
+            return ir.Const(1.0)
+        if op == "max":
+            return ir.Const(-math.inf)
+        if op == "min":
+            return ir.Const(math.inf)
     raise ScalarizationError("unknown reduction operator %r" % op)
 
 
@@ -74,6 +91,12 @@ class Scalarizer:
         self._scalars: Dict[str, str] = {
             info.name: info.kind for info in program.scalars.values()
         }
+        self._array_kinds: Dict[str, str] = {
+            name: info.elem_kind for name, info in program.arrays.items()
+        }
+
+    def _expr_kind(self, expr: ir.IRExpr) -> str:
+        return infer_expr_kind(expr, self._array_kinds, self._scalars)
 
     def run(self) -> ScalarProgram:
         for (_uid, array), scalar in sorted(self._range_scalars.items()):
@@ -159,7 +182,7 @@ class Scalarizer:
             if isinstance(node, ir.Reduce):
                 self._reduce_temp_count += 1
                 temp = "_red%d" % self._reduce_temp_count
-                self._scalars[temp] = "float"
+                self._scalars[temp] = self._expr_kind(node.operand)
                 extracted.append(
                     ReductionLoop(
                         temp, node.op, node.region, self._rewrite(node.operand)
@@ -183,6 +206,9 @@ class Scalarizer:
         return extracted + [ScalarAssign(stmt.target, rhs)]
 
     def _convert_block(self, block: List[ArrayStatement]) -> List[SNode]:
+        from repro.deps.asdg import DepType
+        from repro.fusion.loopstruct import serial_depth
+
         plan = self._plan.plan_for(block)
         partition = plan.partition
         nests: List[SNode] = []
@@ -192,13 +218,29 @@ class Scalarizer:
             structure = partition.loop_structure(cluster_id)
             for stmt in members:
                 if isinstance(stmt, ReductionStatement):
+                    kind = self._expr_kind(self._rewrite_stmt(stmt))
                     nests.append(
                         ScalarAssign(
-                            stmt.scalar_target, _reduction_init(stmt.op)
+                            stmt.scalar_target, _reduction_init(stmt.op, kind)
                         )
                     )
             body = [self._convert_statement(stmt) for stmt in members]
-            nests.append(LoopNest(region, structure, body, cluster_id))
+            udvs = [
+                udv
+                for _var, udv, dep_type in partition.intra_cluster_udvs(
+                    {cluster_id}
+                )
+                if dep_type is not DepType.SCALAR
+            ]
+            nests.append(
+                LoopNest(
+                    region,
+                    structure,
+                    body,
+                    cluster_id,
+                    carried_depth=serial_depth(structure, udvs),
+                )
+            )
         return nests
 
     def _convert_statement(self, stmt: ArrayStatement) -> ElemAssign:

@@ -1,0 +1,90 @@
+"""The execution-backend registry and its CLI wiring."""
+
+import numpy as np
+import pytest
+
+from repro.exec import (
+    ALIASES,
+    BACKEND_CHOICES,
+    BACKENDS,
+    ExecutionResult,
+    execute,
+    get_backend,
+)
+from repro.fusion import C2, plan_program
+from repro.ir import normalize_source
+from repro.scalarize import scalarize
+from repro.util.errors import ReproError
+
+SOURCE = """
+program reg;
+config n : integer = 5;
+region R = [1..n];
+var A : [R] float;
+var s : float;
+begin
+  [R] A := Index1 * 2.0;
+  s := +<< [R] A;
+end;
+"""
+
+
+def scalar_program():
+    program = normalize_source(SOURCE)
+    return scalarize(program, plan_program(program, C2))
+
+
+def test_registry_names_and_aliases():
+    assert set(BACKENDS) == {"interp", "codegen_py", "codegen_np"}
+    assert get_backend("codegen").name == "codegen_py"
+    assert get_backend("py").name == "codegen_py"
+    assert get_backend("np").name == "codegen_np"
+    assert get_backend("numpy").name == "codegen_np"
+    for alias, target in ALIASES.items():
+        assert alias in BACKEND_CHOICES and target in BACKENDS
+
+
+def test_unknown_backend_raises():
+    with pytest.raises(ReproError, match="unknown backend"):
+        get_backend("fortran")
+
+
+@pytest.mark.parametrize("backend", sorted(BACKENDS))
+def test_execute_returns_execution_result(backend):
+    result = execute(scalar_program(), backend)
+    assert isinstance(result, ExecutionResult)
+    assert float(result.scalars["s"]) == 30.0
+    for array in result.arrays.values():
+        assert isinstance(array, np.ndarray)
+
+
+def test_backends_return_comparable_state():
+    program = scalar_program()
+    results = [execute(program, name) for name in sorted(BACKENDS)]
+    first = results[0]
+    for other in results[1:]:
+        assert set(other.arrays) == set(first.arrays)
+        assert set(other.scalars) == set(first.scalars)
+        for name in first.arrays:
+            assert np.allclose(other.arrays[name], first.arrays[name])
+
+
+def test_cli_run_accepts_every_backend(tmp_path, capsys):
+    from repro.cli import main
+
+    path = tmp_path / "reg.zpl"
+    path.write_text(SOURCE)
+    for backend in BACKEND_CHOICES:
+        assert main(["run", str(path), "--backend", backend]) == 0
+        out = capsys.readouterr().out
+        assert "s = 30" in out
+
+
+def test_cli_compile_emits_numpy(tmp_path, capsys):
+    from repro.cli import main
+
+    path = tmp_path / "reg.zpl"
+    path.write_text(SOURCE)
+    assert main(["compile", str(path), "--emit", "np", "--level", "c2+f3"]) == 0
+    out = capsys.readouterr().out
+    assert "np.sum(" in out

@@ -1,20 +1,63 @@
 """Differential testing: the optimizer must preserve array semantics.
 
 Hypothesis generates random straight-line-and-loop programs; every
-optimization level's scalarized execution must produce exactly the state of
-the reference (array-semantics) interpreter — final arrays equal, reduction
-results numerically close (fused reductions may reassociate floating-point
-sums).
+optimization level's scalarized execution — on every execution back end —
+must produce exactly the state of the reference (array-semantics)
+interpreter: final arrays equal, reduction results numerically close (fused
+and vectorized reductions may reassociate floating-point sums).
+
+The second half is a deterministic three-way oracle: every benchsuite
+application, at every optimization level, on all three back ends
+(interpreter, generated Python loops, generated whole-region NumPy), all
+compared against the reference interpreter and against each other —
+integer and boolean state bit for bit including dtype, float state to
+tight tolerances.
 """
 
 import numpy as np
+import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
+from repro.benchsuite import ALL_BENCHMARKS
+from repro.exec import BACKENDS, execute
 from repro.fusion import ALL_LEVELS, plan_program
 from repro.interp import run_reference, run_scalarized
 from repro.ir import normalize_source
 from repro.scalarize import scalarize
+
+
+def assert_array_matches(actual, expected, label):
+    """Exact for integer/boolean arrays (plus dtype), close for floats."""
+    actual = np.asarray(actual)
+    expected = np.asarray(expected)
+    assert actual.dtype == expected.dtype, "%s: dtype %s != %s" % (
+        label,
+        actual.dtype,
+        expected.dtype,
+    )
+    if expected.dtype.kind in "ib":
+        assert np.array_equal(actual, expected), "%s diverged (exact)" % label
+    else:
+        assert np.allclose(
+            actual, expected, rtol=1e-9, atol=1e-11, equal_nan=True
+        ), "%s diverged (max |diff| = %s)" % (
+            label,
+            np.max(np.abs(actual - expected)),
+        )
+
+
+def assert_scalar_matches(actual, expected, label):
+    if isinstance(expected, (bool, np.bool_)):
+        assert bool(actual) == bool(expected), label
+    elif isinstance(expected, (int, np.integer)) and isinstance(
+        actual, (int, np.integer)
+    ):
+        assert int(actual) == int(expected), label
+    else:
+        assert np.isclose(
+            float(actual), float(expected), rtol=1e-9, atol=1e-11, equal_nan=True
+        ), "%s: %r != %r" % (label, actual, expected)
 
 ARRAYS = ["A", "B", "C", "D", "E"]
 
@@ -137,6 +180,84 @@ def test_all_levels_preserve_semantics(source):
                 float(reference.scalars[scalar]),
                 equal_nan=True,
             ), "scalar %s diverged under %s\n%s" % (scalar, level.name, source)
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(programs())
+def test_all_backends_agree(source):
+    """The generated-code back ends match the reference on random programs."""
+    program = normalize_source(source)
+    reference = run_reference(program)
+    for level in ALL_LEVELS:
+        scalar_program = scalarize(program, plan_program(program, level))
+        for backend in ("codegen_py", "codegen_np"):
+            result = execute(scalar_program, backend)
+            for name, array in result.arrays.items():
+                if name.startswith("_"):
+                    continue
+                assert np.allclose(
+                    array, reference.arrays[name], equal_nan=True
+                ), "array %s diverged under %s/%s\n%s" % (
+                    name,
+                    level.name,
+                    backend,
+                    source,
+                )
+            for scalar in ("s", "t"):
+                assert np.isclose(
+                    float(result.scalars[scalar]),
+                    float(reference.scalars[scalar]),
+                    equal_nan=True,
+                ), "scalar %s diverged under %s/%s\n%s" % (
+                    scalar,
+                    level.name,
+                    backend,
+                    source,
+                )
+
+
+@pytest.mark.parametrize("bench", ALL_BENCHMARKS, ids=lambda b: b.name)
+@pytest.mark.parametrize("level", ALL_LEVELS, ids=lambda l: l.name)
+def test_benchsuite_three_way_oracle(bench, level):
+    """Interpreter, Python loops and NumPy slices agree on every benchmark.
+
+    All three back ends execute the *same* scalarized program and are
+    compared against the reference interpreter and against each other.
+    """
+    program = bench.test_program()
+    reference = run_reference(program)
+    scalar_program = scalarize(program, plan_program(program, level))
+    results = {
+        name: execute(scalar_program, name) for name in sorted(BACKENDS)
+    }
+    for backend, result in results.items():
+        where = "%s %s %s" % (bench.name, level.name, backend)
+        for name, array in result.arrays.items():
+            if name.startswith("_") or name not in reference.arrays:
+                continue
+            assert_array_matches(
+                array, reference.arrays[name], "%s array %s" % (where, name)
+            )
+        for name, value in reference.scalars.items():
+            if name in result.scalars:
+                assert_scalar_matches(
+                    result.scalars[name], value, "%s scalar %s" % (where, name)
+                )
+    # The two code generators must agree with the interpreter back end on
+    # the full surviving state, contraction temporaries included.
+    anchor = results["interp"]
+    for backend in ("codegen_py", "codegen_np"):
+        result = results[backend]
+        where = "%s %s interp-vs-%s" % (bench.name, level.name, backend)
+        assert set(result.arrays) == set(anchor.arrays), where
+        for name, array in result.arrays.items():
+            assert_array_matches(
+                array, anchor.arrays[name], "%s array %s" % (where, name)
+            )
 
 
 @settings(max_examples=15, deadline=None,
