@@ -16,6 +16,14 @@ Commands
     Compile and estimate execution cost on a machine model, optionally for
     ``p`` processors with scaled problem sizes.
 
+``serve FILE``
+    Compile once through the content-addressed artifact cache and execute
+    a batch of requests (``--requests requests.json``, optionally across
+    ``--workers`` threads); ``--stats`` prints the pipeline metrics JSON.
+
+``stats``
+    Inspect the on-disk artifact cache: entries, sizes, levels, backends.
+
 ``figures NAME``
     Regenerate a paper artifact (fig6, fig7, fig8) on the spot.
 """
@@ -27,7 +35,7 @@ import sys
 from typing import Dict, List, Optional
 
 from repro.deps import build_asdg
-from repro.exec import BACKEND_CHOICES, execute
+from repro.exec import ALIASES, BACKEND_CHOICES, execute, get_backend
 from repro.fusion import LEVELS_BY_NAME, C2P, plan_program
 from repro.ir import normalize_source
 from repro.machine import MACHINES_BY_NAME, estimate_sequential
@@ -68,6 +76,25 @@ def _parse_config(pairs: Optional[List[str]]) -> Dict[str, int]:
     return config
 
 
+def _backend_name(name: str) -> str:
+    """Resolve a --backend value (canonical name or alias) for argparse."""
+    try:
+        return get_backend(name).name
+    except ReproError as error:
+        raise argparse.ArgumentTypeError(str(error))
+
+
+def _add_backend_argument(parser, default: str) -> None:
+    parser.add_argument(
+        "--backend", default=default, type=_backend_name,
+        metavar="{%s}" % ",".join(BACKEND_CHOICES),
+        help="execution back end (case-insensitive; aliases: %s): loop "
+        "interpreter, generated Python element loops, or generated "
+        "whole-region NumPy"
+        % ", ".join("%s=%s" % pair for pair in sorted(ALIASES.items())),
+    )
+
+
 def _load(args) -> str:
     if args.file == "-":
         return sys.stdin.read()
@@ -104,10 +131,11 @@ def _build_parser() -> argparse.ArgumentParser:
 
     run_parser = sub.add_parser("run", help="compile and execute")
     common(run_parser)
+    _add_backend_argument(run_parser, default="interp")
     run_parser.add_argument(
-        "--backend", default="interp", choices=BACKEND_CHOICES,
-        help="execution back end: loop interpreter, generated Python "
-        "element loops, or generated whole-region NumPy",
+        "--check", action="store_true",
+        help="cross-execute against the interp backend and report the "
+        "max absolute divergence",
     )
 
     estimate_parser = sub.add_parser("estimate", help="estimate cost")
@@ -117,6 +145,52 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     estimate_parser.add_argument("--p", type=int, default=1,
                                  help="processor count (scaled problem)")
+
+    serve_parser = sub.add_parser(
+        "serve", help="compile once (cached), execute many requests"
+    )
+    common(serve_parser)
+    _add_backend_argument(serve_parser, default="codegen_np")
+    serve_parser.add_argument(
+        "--requests", metavar="FILE",
+        help="JSON file (or - for stdin) holding a list of requests, each "
+        'an object like {"config": {"n": 512}}; default: one request '
+        "with no overrides",
+    )
+    serve_parser.add_argument(
+        "--workers", type=int, default=None,
+        help="fan request execution out across N threads",
+    )
+    serve_parser.add_argument(
+        "--repeat", type=int, default=1, metavar="N",
+        help="serve the request list N times (traffic simulation)",
+    )
+    serve_parser.add_argument(
+        "--cache-dir", default=None,
+        help="artifact cache directory (default: $REPRO_CACHE_DIR or "
+        ".repro-cache)",
+    )
+    serve_parser.add_argument(
+        "--no-cache", action="store_true",
+        help="keep artifacts in memory only; skip the on-disk store",
+    )
+    serve_parser.add_argument(
+        "--stats", action="store_true",
+        help="print metrics and cache stats as JSON after serving",
+    )
+    serve_parser.add_argument(
+        "--stats-json", metavar="PATH",
+        help="also write the stats JSON to PATH",
+    )
+
+    stats_parser = sub.add_parser(
+        "stats", help="inspect the on-disk artifact cache"
+    )
+    stats_parser.add_argument(
+        "--cache-dir", default=None,
+        help="artifact cache directory (default: $REPRO_CACHE_DIR or "
+        ".repro-cache)",
+    )
 
     figures_parser = sub.add_parser("figures", help="regenerate an artifact")
     figures_parser.add_argument("name", choices=("fig6", "fig7", "fig8"))
@@ -165,10 +239,7 @@ def cmd_compile(args) -> int:
     return 0
 
 
-def cmd_run(args) -> int:
-    program, plan = _compile(args)
-    scalar_program = scalarize(program, plan)
-    scalars = execute(scalar_program, args.backend).scalars
+def _print_scalars(scalars: Dict[str, object], prefix: str = "") -> None:
     for name in sorted(scalars):
         if name.startswith("_") or name.endswith("__s"):
             continue
@@ -179,7 +250,60 @@ def cmd_run(args) -> int:
             text = "%g" % float(value)
         else:
             text = repr(float(value))
-        print("%s = %s" % (name, text))
+        print("%s%s = %s" % (prefix, name, text))
+
+
+#: --check fails when the fast path diverges from the interpreter by more.
+CHECK_TOLERANCE = 1e-6
+
+
+def _max_divergence(result, reference) -> float:
+    """Max absolute element-wise difference between two execution results."""
+    import numpy as np
+
+    worst = 0.0
+    for name, array in reference.arrays.items():
+        other = result.arrays.get(name)
+        if other is None or other.shape != array.shape:
+            return float("inf")
+        if array.size:
+            worst = max(
+                worst,
+                float(
+                    np.max(
+                        np.abs(
+                            np.asarray(other, dtype=np.float64)
+                            - np.asarray(array, dtype=np.float64)
+                        )
+                    )
+                ),
+            )
+    for name, value in reference.scalars.items():
+        if name not in result.scalars:
+            return float("inf")
+        worst = max(worst, abs(float(result.scalars[name]) - float(value)))
+    return worst
+
+
+def cmd_run(args) -> int:
+    program, plan = _compile(args)
+    scalar_program = scalarize(program, plan)
+    result = execute(scalar_program, args.backend)
+    _print_scalars(result.scalars)
+    if args.check:
+        if args.backend == "interp":
+            print("check vs interp: backend is interp, divergence = 0")
+            return 0
+        reference = execute(scalar_program, "interp")
+        divergence = _max_divergence(result, reference)
+        print("check vs interp: max |divergence| = %g" % divergence)
+        if not divergence <= CHECK_TOLERANCE:
+            print(
+                "error: backend %r diverges from interp by %g (tolerance %g)"
+                % (args.backend, divergence, CHECK_TOLERANCE),
+                file=sys.stderr,
+            )
+            return 1
     return 0
 
 
@@ -206,6 +330,110 @@ def cmd_estimate(args) -> int:
     return 0
 
 
+def _load_requests(path: Optional[str]):
+    import json
+
+    if not path:
+        return [None]
+    if path == "-":
+        raw = sys.stdin.read()
+    else:
+        with open(path) as handle:
+            raw = handle.read()
+    data = json.loads(raw)
+    if isinstance(data, dict) and "requests" in data:
+        data = data["requests"]
+    if not isinstance(data, list):
+        raise ReproError(
+            "--requests expects a JSON list of request objects "
+            '(each like {"config": {"n": 512}})'
+        )
+    return [request if request else None for request in data]
+
+
+def cmd_serve(args) -> int:
+    import json
+
+    from repro.service import Service
+
+    source = _load(args)
+    level = _level(args.level)
+    service = Service(
+        level=level,
+        backend=args.backend,
+        cache_dir=args.cache_dir,
+        persistent=not args.no_cache,
+        workers=args.workers,
+        self_temp_policy=args.self_temp_policy,
+        simplify=args.simplify,
+    )
+    base_config = _parse_config(args.config)
+    requests = _load_requests(args.requests)
+    compiled = service.compile(source, level, base_config)
+    print(
+        "compiled %s  level=%s backend=%s  %s"
+        % (
+            compiled.digest[:12],
+            compiled.level,
+            compiled.backend,
+            "cache hit" if compiled.from_cache else "cache miss (cold compile)",
+        )
+    )
+    for round_index in range(max(args.repeat, 1)):
+        results = service.submit_many(source, requests, config=base_config)
+        if round_index > 0:
+            continue  # print each distinct request's answer once
+        for index, result in enumerate(results):
+            _print_scalars(result.scalars, prefix="request %d: " % index)
+    if args.stats or args.stats_json:
+        stats = service.stats()
+        text = json.dumps(stats, indent=2, sort_keys=True)
+        if args.stats:
+            print(text)
+        if args.stats_json:
+            with open(args.stats_json, "w") as handle:
+                handle.write(text + "\n")
+    return 0
+
+
+def cmd_stats(args) -> int:
+    import json
+    import pickle
+    import time
+
+    from repro.service import ArtifactCache
+
+    cache = ArtifactCache(root=args.cache_dir)
+    artifacts = []
+    now = time.time()
+    for path, size, mtime in cache.disk_entries():
+        entry = {"path": path, "bytes": size, "age_s": round(now - mtime, 1)}
+        try:
+            with open(path, "rb") as handle:
+                envelope = pickle.load(handle)
+            payload = envelope.get("payload", {})
+            entry.update(
+                {
+                    "digest": envelope.get("digest", "")[:12],
+                    "level": payload.get("level"),
+                    "backend": payload.get("backend"),
+                    "config": payload.get("config"),
+                    "code_version": envelope.get("code_version"),
+                }
+            )
+        except Exception:
+            entry["invalid"] = True
+        artifacts.append(entry)
+    print(
+        json.dumps(
+            {"cache": cache.stats(), "artifacts": artifacts},
+            indent=2,
+            sort_keys=True,
+        )
+    )
+    return 0
+
+
 def cmd_figures(args) -> int:
     if args.name == "fig6":
         from repro.compilers import render_figure6
@@ -229,6 +457,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "compile": cmd_compile,
         "run": cmd_run,
         "estimate": cmd_estimate,
+        "serve": cmd_serve,
+        "stats": cmd_stats,
         "figures": cmd_figures,
     }[args.command]
     try:

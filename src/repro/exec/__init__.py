@@ -6,6 +6,7 @@ from repro.exec.backends import (
     BACKENDS,
     Backend,
     ExecutionResult,
+    InitialArrays,
     execute,
     get_backend,
 )
@@ -16,6 +17,7 @@ __all__ = [
     "BACKENDS",
     "Backend",
     "ExecutionResult",
+    "InitialArrays",
     "execute",
     "get_backend",
 ]

@@ -22,12 +22,16 @@ and scalar state, directly comparable across back ends.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, NamedTuple
+from typing import Callable, Dict, List, Mapping, NamedTuple, Optional
 
 import numpy as np
 
 from repro.scalarize.loopnest import ScalarProgram
 from repro.util.errors import ReproError
+
+#: Optional per-request inputs: array name -> initial contents (allocation
+#: region layout, the same shape an :class:`ExecutionResult` returns).
+InitialArrays = Optional[Mapping[str, np.ndarray]]
 
 
 class ExecutionResult(NamedTuple):
@@ -40,27 +44,33 @@ class ExecutionResult(NamedTuple):
 class Backend(NamedTuple):
     name: str
     description: str
-    execute: Callable[[ScalarProgram], ExecutionResult]
+    execute: Callable[..., ExecutionResult]
 
 
-def _run_interp(program: ScalarProgram) -> ExecutionResult:
+def _run_interp(
+    program: ScalarProgram, initial_arrays: InitialArrays = None
+) -> ExecutionResult:
     from repro.interp import run_scalarized
 
-    storage = run_scalarized(program)
+    storage = run_scalarized(program, initial_arrays)
     return ExecutionResult(storage.snapshot(), dict(storage.scalars))
 
 
-def _run_codegen_py(program: ScalarProgram) -> ExecutionResult:
+def _run_codegen_py(
+    program: ScalarProgram, initial_arrays: InitialArrays = None
+) -> ExecutionResult:
     from repro.scalarize.codegen_py import execute_python
 
-    arrays, scalars = execute_python(program)
+    arrays, scalars = execute_python(program, inputs=initial_arrays)
     return ExecutionResult(dict(arrays), dict(scalars))
 
 
-def _run_codegen_np(program: ScalarProgram) -> ExecutionResult:
+def _run_codegen_np(
+    program: ScalarProgram, initial_arrays: InitialArrays = None
+) -> ExecutionResult:
     from repro.scalarize.codegen_np import execute_numpy
 
-    arrays, scalars = execute_numpy(program)
+    arrays, scalars = execute_numpy(program, inputs=initial_arrays)
     return ExecutionResult(dict(arrays), dict(scalars))
 
 
@@ -82,19 +92,39 @@ ALIASES: Dict[str, str] = {
     "numpy": "codegen_np",
 }
 
-BACKEND_CHOICES: List[str] = sorted(BACKENDS) + sorted(ALIASES)
+#: Canonical backend names only — aliases resolve to these but are not
+#: repeated here, so CLI help and error messages stay de-duplicated.
+BACKEND_CHOICES: List[str] = sorted(BACKENDS)
 
 
 def get_backend(name: str) -> Backend:
-    """Resolve a backend by canonical name or alias."""
-    backend = BACKENDS.get(ALIASES.get(name, name))
+    """Resolve a backend by canonical name or alias, case-insensitively."""
+    key = str(name).strip().lower()
+    backend = BACKENDS.get(ALIASES.get(key, key))
     if backend is None:
         raise ReproError(
-            "unknown backend %r (have: %s)" % (name, ", ".join(BACKEND_CHOICES))
+            "unknown backend %r (have: %s; aliases: %s)"
+            % (
+                name,
+                ", ".join(BACKEND_CHOICES),
+                ", ".join(
+                    "%s=%s" % (alias, target)
+                    for alias, target in sorted(ALIASES.items())
+                ),
+            )
         )
     return backend
 
 
-def execute(program: ScalarProgram, backend: str = "interp") -> ExecutionResult:
-    """Execute a scalarized program on the named backend."""
-    return get_backend(backend).execute(program)
+def execute(
+    program: ScalarProgram,
+    backend: str = "interp",
+    initial_arrays: InitialArrays = None,
+) -> ExecutionResult:
+    """Execute a scalarized program on the named backend.
+
+    ``initial_arrays`` seeds named arrays with starting contents instead of
+    zeros; values must match the allocation-region shape the backend would
+    itself allocate (exactly what a previous run's result holds).
+    """
+    return get_backend(backend).execute(program, initial_arrays)

@@ -213,63 +213,77 @@ def plan_block(
     block: List[ArrayStatement],
     level: Level,
     merge_filter: Optional[MergeFilter] = None,
+    timers=None,
 ) -> BlockPlan:
-    """Run the level's fusion passes over one basic block."""
+    """Run the level's fusion passes over one basic block.
+
+    ``timers``, when given, is a metrics object with a ``time(name)``
+    context manager (see :class:`repro.service.metrics.Metrics`); the
+    dependence analysis and the fusion/contraction passes are recorded
+    under ``compile.deps`` and ``compile.fusion`` respectively.
+    """
+    from contextlib import nullcontext
+
     from repro.fusion.algorithm import fusion_for_contraction_ranges
     from repro.fusion.contract import range_candidates, split_live_ranges
 
+    timed = timers.time if timers is not None else (lambda _name: nullcontext())
+
     config_env = program.config_env()
-    graph = build_asdg(block)
+    with timed("compile.deps"):
+        graph = build_asdg(block)
     partition = FusionPartition(graph)
     contracted: Set[str] = set()
     range_scalars: Dict[tuple, str] = {}
 
-    if level.fuse_compiler or level.fuse_user:
-        candidates = range_candidates(
-            program, block, include_user_arrays=level.fuse_user
-        )
-        enabled = fusion_for_contraction_ranges(
-            partition, candidates, config_env, merge_filter
-        )
-        applied_by_array: Dict[str, List] = {}
-        for candidate in enabled:
-            info = program.arrays[candidate.array]
-            if info.is_temp and not level.contract_compiler:
-                continue
-            if not info.is_temp and not level.contract_user:
-                continue
-            applied_by_array.setdefault(candidate.array, []).append(candidate)
-        for name, applied in applied_by_array.items():
-            has_incoming, ranges = split_live_ranges(block, name)
-            # An array's storage is eliminated when every one of its ranges
-            # contracted and no reference enters or escapes the block.
-            eliminated = (
-                not has_incoming
-                and len(applied) == len(ranges)
-                and program.refs_confined_to_block(name, block)
+    with timed("compile.fusion"):
+        if level.fuse_compiler or level.fuse_user:
+            candidates = range_candidates(
+                program, block, include_user_arrays=level.fuse_user
             )
-            for candidate in applied:
-                if candidate.is_last and not eliminated:
-                    # The final range's value is the array's observable
-                    # state: contract it only when the whole array goes.
+            enabled = fusion_for_contraction_ranges(
+                partition, candidates, config_env, merge_filter
+            )
+            applied_by_array: Dict[str, List] = {}
+            for candidate in enabled:
+                info = program.arrays[candidate.array]
+                if info.is_temp and not level.contract_compiler:
                     continue
-                for stmt in candidate.statements:
-                    range_scalars[(stmt.uid, name)] = candidate.scalar
-            if eliminated:
-                contracted.add(name)
+                if not info.is_temp and not level.contract_user:
+                    continue
+                applied_by_array.setdefault(candidate.array, []).append(candidate)
+            for name, applied in applied_by_array.items():
+                has_incoming, ranges = split_live_ranges(block, name)
+                # An array's storage is eliminated when every one of its
+                # ranges contracted and no reference enters or escapes the
+                # block.
+                eliminated = (
+                    not has_incoming
+                    and len(applied) == len(ranges)
+                    and program.refs_confined_to_block(name, block)
+                )
+                for candidate in applied:
+                    if candidate.is_last and not eliminated:
+                        # The final range's value is the array's observable
+                        # state: contract it only when the whole array goes.
+                        continue
+                    for stmt in candidate.statements:
+                        range_scalars[(stmt.uid, name)] = candidate.scalar
+                if eliminated:
+                    contracted.add(name)
 
-    if level.fuse_locality:
-        fusion_for_locality(partition, config_env, merge_filter)
+        if level.fuse_locality:
+            fusion_for_locality(partition, config_env, merge_filter)
 
-    if level.fuse_all:
-        fuse_all_legal(partition, merge_filter)
+        if level.fuse_all:
+            fuse_all_legal(partition, merge_filter)
 
-    partial = None
-    if level.contract_partial:
-        from repro.fusion.partial import find_partial_contractions
+        partial = None
+        if level.contract_partial:
+            from repro.fusion.partial import find_partial_contractions
 
-        touched = {name for (_uid, name) in range_scalars}
-        partial = find_partial_contractions(program, block, touched)
+            touched = {name for (_uid, name) in range_scalars}
+            partial = find_partial_contractions(program, block, touched)
 
     return BlockPlan(block, partition, contracted, partial, range_scalars)
 
@@ -278,9 +292,14 @@ def plan_program(
     program: IRProgram,
     level: Level,
     merge_filter: Optional[MergeFilter] = None,
+    timers=None,
 ) -> ProgramPlan:
-    """Plan every basic block of ``program`` under ``level``."""
+    """Plan every basic block of ``program`` under ``level``.
+
+    ``timers`` is forwarded to :func:`plan_block` so a serving layer can
+    meter the dependence and fusion passes separately.
+    """
     plan = ProgramPlan(program, level)
     for block in program.blocks():
-        plan.add(plan_block(program, block, level, merge_filter))
+        plan.add(plan_block(program, block, level, merge_filter, timers))
     return plan

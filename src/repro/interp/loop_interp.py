@@ -40,7 +40,7 @@ from repro.util.vectors import add
 class LoopInterpreter:
     """Executes a :class:`ScalarProgram`."""
 
-    def __init__(self, program: ScalarProgram) -> None:
+    def __init__(self, program: ScalarProgram, initial_arrays=None) -> None:
         from repro.scalarize.emit_common import int_config_env
 
         self.program = program
@@ -54,6 +54,8 @@ class LoopInterpreter:
                 )
             else:
                 self.storage.allocate_array(name, region, kind, self._config_env)
+        if initial_arrays:
+            self.storage.seed_arrays(initial_arrays)
         for name, kind in program.scalars.items():
             self.storage.declare_scalar(name, kind)
         self._steps = 0
@@ -189,6 +191,6 @@ class LoopInterpreter:
         self.storage.set_scalar(node.target, reduce_values(node.op, values))
 
 
-def run_scalarized(program: ScalarProgram) -> Storage:
-    """Execute a scalarized program."""
-    return LoopInterpreter(program).run()
+def run_scalarized(program: ScalarProgram, initial_arrays=None) -> Storage:
+    """Execute a scalarized program, optionally seeding array contents."""
+    return LoopInterpreter(program, initial_arrays).run()

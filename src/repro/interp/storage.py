@@ -85,6 +85,29 @@ class Storage:
     def declare_scalar(self, name: str, kind: str) -> None:
         self.scalars[name] = _SCALAR_DEFAULTS[kind]
 
+    def seed_arrays(self, initial: Mapping[str, np.ndarray]) -> None:
+        """Overwrite allocated arrays with caller-provided initial contents.
+
+        Values must match the allocation-region shape (halo included) —
+        exactly the layout :meth:`snapshot` returns, so one run's output
+        feeds the next run's input.  Contents are cast to the declared
+        element kind.
+        """
+        for name, value in initial.items():
+            array = self.arrays.get(name)
+            if array is None:
+                raise InterpError(
+                    "cannot seed unknown array %r (have: %s)"
+                    % (name, ", ".join(sorted(self.arrays)))
+                )
+            value = np.asarray(value)
+            if value.shape != array.shape:
+                raise InterpError(
+                    "initial value for %r has shape %s, allocation needs %s"
+                    % (name, value.shape, array.shape)
+                )
+            array[...] = value
+
     # -- access --------------------------------------------------------------
 
     def scalar(self, name: str) -> object:

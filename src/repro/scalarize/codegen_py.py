@@ -69,7 +69,7 @@ class PyGenerator:
             "",
             "from repro.util.errors import InterpError",
             "",
-            "def run():",
+            "def run(_inputs=None):",
         ]
 
     def render(self) -> str:
@@ -126,6 +126,10 @@ class PyGenerator:
             self._bases[name] = tuple(lo for lo, _hi in bounds)
             self._emit(
                 "%s = np.zeros(%r, dtype=np.%s)" % (name, shape, DTYPES[kind])
+            )
+            self._emit(
+                "if _inputs is not None and %r in _inputs: "
+                "%s[...] = _inputs[%r]" % (name, name, name)
             )
         for name, kind in self._program.scalars.items():
             self._emit("%s = %s" % (name, SCALAR_INIT[kind]))
@@ -382,14 +386,16 @@ def render_python(
 
 
 def execute_python(
-    program: ScalarProgram, env: Optional[Dict[str, int]] = None
+    program: ScalarProgram, env: Optional[Dict[str, int]] = None, inputs=None
 ):
     """Compile and run the generated Python; returns (arrays, scalars).
 
     ``arrays`` maps array names to numpy arrays over their allocation
     regions (same layout as :class:`repro.interp.storage.Storage`).
+    ``inputs`` optionally seeds named arrays with initial contents of that
+    same allocation-region shape instead of zeros.
     """
     source = render_python(program, env)
     namespace: Dict[str, object] = {}
     exec(compile(source, "<repro-codegen>", "exec"), namespace)
-    return namespace["run"]()
+    return namespace["run"](inputs)

@@ -1,0 +1,241 @@
+"""The two-tier compiled-artifact cache.
+
+Tier 1 is an in-memory LRU (bounded entry count) holding live artifact
+dicts; tier 2 is a content-addressed on-disk store so warmth survives the
+process — the analogue of Bohrium's fuse cache, amortizing array-level
+analysis across runs.
+
+Disk layout: ``<root>/<digest[:2]>/<digest>.pkl``, each file a pickled
+envelope ``{"schema", "code_version", "digest", "payload"}``.  Loads
+verify all three stamps; any mismatch or unpicklable file is treated as a
+miss and the file is deleted (a corrupted cache can only cost a
+recompile, never a wrong answer).  Writes are atomic (temp file +
+``os.replace``) so concurrent services never observe torn artifacts.
+
+The root defaults to ``.repro-cache/`` and is overridable with the
+``REPRO_CACHE_DIR`` environment variable; the disk tier is size-bounded
+(``REPRO_CACHE_MAX_BYTES``, default 256 MiB) with oldest-first eviction.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+from repro.service import fingerprint
+from repro.service.metrics import Metrics
+
+#: Envelope layout version — independent of the compiler's CODE_VERSION.
+ARTIFACT_SCHEMA = 1
+
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+ENV_CACHE_MAX_BYTES = "REPRO_CACHE_MAX_BYTES"
+DEFAULT_CACHE_DIR = ".repro-cache"
+DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+DEFAULT_MEMORY_ENTRIES = 128
+
+
+def default_cache_dir() -> str:
+    return os.environ.get(ENV_CACHE_DIR) or DEFAULT_CACHE_DIR
+
+
+def _default_max_bytes() -> int:
+    raw = os.environ.get(ENV_CACHE_MAX_BYTES)
+    if raw:
+        try:
+            return max(int(raw), 0)
+        except ValueError:
+            pass
+    return DEFAULT_MAX_BYTES
+
+
+class ArtifactCache:
+    """In-memory LRU over a persistent content-addressed store."""
+
+    def __init__(
+        self,
+        root: Optional[str] = None,
+        persistent: bool = True,
+        memory_entries: int = DEFAULT_MEMORY_ENTRIES,
+        max_bytes: Optional[int] = None,
+        metrics: Optional[Metrics] = None,
+        code_version: Optional[str] = None,
+    ) -> None:
+        self.root = os.fspath(root) if root is not None else default_cache_dir()
+        self.persistent = persistent
+        self.memory_entries = max(int(memory_entries), 1)
+        self.max_bytes = max_bytes if max_bytes is not None else _default_max_bytes()
+        self.metrics = metrics or Metrics()
+        #: Resolved at access time when None so tests can monkeypatch
+        #: ``fingerprint.CODE_VERSION`` and see stale artifacts rejected.
+        self._code_version = code_version
+        self._memory: "OrderedDict[str, dict]" = OrderedDict()
+
+    @property
+    def code_version(self) -> str:
+        return self._code_version or fingerprint.CODE_VERSION
+
+    # -- lookup ------------------------------------------------------------
+
+    def get(self, digest: str) -> Optional[dict]:
+        """The artifact payload for ``digest``, or None on miss."""
+        artifact = self._memory.get(digest)
+        if artifact is not None:
+            self._memory.move_to_end(digest)
+            self.metrics.incr("cache.memory_hits")
+            return artifact
+        artifact = self._disk_get(digest)
+        if artifact is not None:
+            self.metrics.incr("cache.disk_hits")
+            self._memory_put(digest, artifact)
+        return artifact
+
+    def put(self, digest: str, payload: dict) -> None:
+        self._memory_put(digest, payload)
+        if self.persistent:
+            self._disk_put(digest, payload)
+
+    def invalidate(self, digest: str) -> None:
+        self._memory.pop(digest, None)
+        path = self._path(digest)
+        if os.path.exists(path):
+            os.remove(path)
+
+    def clear(self) -> None:
+        self._memory.clear()
+        for path, _size, _mtime in self.disk_entries():
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+
+    # -- memory tier -------------------------------------------------------
+
+    def _memory_put(self, digest: str, payload: dict) -> None:
+        self._memory[digest] = payload
+        self._memory.move_to_end(digest)
+        while len(self._memory) > self.memory_entries:
+            self._memory.popitem(last=False)
+            self.metrics.incr("cache.memory_evictions")
+
+    # -- disk tier ---------------------------------------------------------
+
+    def _path(self, digest: str) -> str:
+        return os.path.join(self.root, digest[:2], digest + ".pkl")
+
+    def _disk_get(self, digest: str) -> Optional[dict]:
+        if not self.persistent:
+            return None
+        path = self._path(digest)
+        try:
+            with open(path, "rb") as handle:
+                envelope = pickle.load(handle)
+            if not isinstance(envelope, dict):
+                raise ValueError("artifact envelope is not a dict")
+            if (
+                envelope.get("schema") != ARTIFACT_SCHEMA
+                or envelope.get("code_version") != self.code_version
+                or envelope.get("digest") != digest
+            ):
+                raise ValueError("artifact stamp mismatch")
+            payload = envelope["payload"]
+            if not isinstance(payload, dict):
+                raise ValueError("artifact payload is not a dict")
+            # Refresh mtime so size eviction stays LRU-ish across processes.
+            os.utime(path, None)
+            return payload
+        except FileNotFoundError:
+            return None
+        except Exception:
+            # Corrupted, truncated, or stale-versioned file: drop it and
+            # recompile rather than risk replaying a wrong artifact.
+            self.metrics.incr("cache.invalid_artifacts")
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            return None
+
+    def _disk_put(self, digest: str, payload: dict) -> None:
+        path = self._path(digest)
+        envelope = {
+            "schema": ARTIFACT_SCHEMA,
+            "code_version": self.code_version,
+            "digest": digest,
+            "payload": payload,
+        }
+        try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=os.path.dirname(path), suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump(envelope, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.remove(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            # A read-only or full cache directory degrades to memory-only.
+            self.metrics.incr("cache.write_errors")
+            return
+        self._evict_disk()
+
+    def disk_entries(self) -> List[Tuple[str, int, float]]:
+        """All stored artifact files as ``(path, bytes, mtime)``."""
+        entries: List[Tuple[str, int, float]] = []
+        if not os.path.isdir(self.root):
+            return entries
+        for shard in sorted(os.listdir(self.root)):
+            shard_dir = os.path.join(self.root, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for name in sorted(os.listdir(shard_dir)):
+                if not name.endswith(".pkl"):
+                    continue
+                path = os.path.join(shard_dir, name)
+                try:
+                    stat = os.stat(path)
+                except OSError:
+                    continue
+                entries.append((path, stat.st_size, stat.st_mtime))
+        return entries
+
+    def _evict_disk(self) -> None:
+        if self.max_bytes <= 0:
+            return
+        entries = self.disk_entries()
+        total = sum(size for _path, size, _mtime in entries)
+        if total <= self.max_bytes:
+            return
+        for path, size, _mtime in sorted(entries, key=lambda e: e[2]):
+            try:
+                os.remove(path)
+            except OSError:
+                continue
+            self.metrics.incr("cache.disk_evictions")
+            total -= size
+            if total <= self.max_bytes:
+                break
+
+    # -- introspection -----------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        entries = self.disk_entries() if self.persistent else []
+        return {
+            "root": self.root,
+            "persistent": self.persistent,
+            "code_version": self.code_version,
+            "memory_entries": len(self._memory),
+            "memory_limit": self.memory_entries,
+            "disk_entries": len(entries),
+            "disk_bytes": sum(size for _p, size, _m in entries),
+            "disk_limit_bytes": self.max_bytes,
+        }

@@ -1,0 +1,177 @@
+"""A compiled program: one artifact, many executions.
+
+``CompiledProgram`` wraps a cached artifact payload (the scalarized
+program plus the rendered backend code) and executes it repeatedly with
+per-request initial array contents, without ever re-running the
+array-level pipeline.  The rendered code is compiled to a Python code
+object once per backend and reused across requests.
+
+Configuration bindings are *compile-time* in this compiler —
+normalization folds config values into region bounds and expressions —
+so a request carrying ``{"config": ...}`` is routed by
+:class:`repro.service.service.Service` to the artifact compiled for that
+binding (one cache entry per binding, hit on every repeat), not rebound
+here.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, Mapping, Optional, Tuple
+
+from repro.exec import ExecutionResult, get_backend
+from repro.scalarize.loopnest import ScalarProgram
+from repro.service.metrics import Metrics
+from repro.util.errors import ReproError
+
+#: A request: ``None`` or a mapping with optional ``config`` (routed by
+#: the Service to a per-binding artifact) and ``arrays`` (initial array
+#: contents, allocation-region layout) keys.
+Request = Optional[Mapping[str, object]]
+
+_RENDERERS = {
+    "codegen_py": ("repro.scalarize.codegen_py", "render_python", "<repro-serve>"),
+    "codegen_np": ("repro.scalarize.codegen_np", "render_numpy", "<repro-serve-np>"),
+}
+
+
+def split_request(request: Request) -> Tuple[Dict[str, object], Optional[Mapping]]:
+    """Split a request into (config bindings, initial arrays)."""
+    if request is None:
+        return {}, None
+    if not isinstance(request, Mapping):
+        raise ReproError(
+            "a request must be a mapping with optional 'config' and "
+            "'arrays' keys, got %r" % (request,)
+        )
+    unknown = set(request) - {"config", "arrays"}
+    if unknown:
+        raise ReproError(
+            "unknown request keys %s (expected 'config' and/or 'arrays')"
+            % ", ".join(sorted(map(repr, unknown)))
+        )
+    return dict(request.get("config") or {}), request.get("arrays")
+
+
+class CompiledProgram:
+    """An executable artifact addressed by its content digest."""
+
+    def __init__(
+        self,
+        payload: Dict[str, object],
+        metrics: Optional[Metrics] = None,
+        from_cache: bool = False,
+    ) -> None:
+        self._payload = payload
+        self.metrics = metrics or Metrics()
+        #: Whether this instance was served from the artifact cache.
+        self.from_cache = from_cache
+        self._lock = threading.Lock()
+        #: backend name -> compiled ``run`` callable (codegen backends).
+        self._runners: Dict[str, Callable] = {}
+
+    # -- payload views -----------------------------------------------------
+
+    @property
+    def digest(self) -> str:
+        return self._payload["digest"]
+
+    @property
+    def backend(self) -> str:
+        return self._payload["backend"]
+
+    @property
+    def level(self) -> str:
+        return self._payload["level"]
+
+    @property
+    def config(self) -> Dict[str, object]:
+        """The config bindings this artifact was compiled under."""
+        return dict(self._payload.get("config") or {})
+
+    @property
+    def scalar_program(self) -> ScalarProgram:
+        return self._payload["scalar_program"]
+
+    @property
+    def code(self) -> Optional[str]:
+        """The rendered backend source stored in the artifact (codegen
+        backends only)."""
+        return self._payload.get("code")
+
+    @property
+    def compile_timings(self) -> Dict[str, float]:
+        return dict(self._payload.get("compile_timings") or {})
+
+    # -- execution ---------------------------------------------------------
+
+    def execute(
+        self, request: Request = None, backend: Optional[str] = None
+    ) -> ExecutionResult:
+        """Run once; ``request`` may seed arrays: ``{"arrays": {"A": nd}}``.
+
+        A request naming config bindings different from this artifact's is
+        rejected — route it through ``Service.submit`` instead, which
+        compiles (or cache-hits) the artifact for that binding.
+        """
+        backend_name = get_backend(backend or self.backend).name
+        config, arrays = split_request(request)
+        if config and config != {
+            name: self.config.get(name) for name in config
+        }:
+            raise ReproError(
+                "request rebinds configs %s but this artifact was compiled "
+                "with %r; submit the request through a Service so it is "
+                "routed to the artifact for that binding"
+                % (sorted(config), self.config)
+            )
+        with self.metrics.time("execute.%s" % backend_name):
+            if backend_name in _RENDERERS:
+                raw_arrays, raw_scalars = self._runner(backend_name)(arrays)
+                result = ExecutionResult(dict(raw_arrays), dict(raw_scalars))
+            else:
+                result = get_backend(backend_name).execute(
+                    self.scalar_program, arrays
+                )
+        self.metrics.incr("execute.requests")
+        return result
+
+    def execute_many(self, requests, workers: Optional[int] = None):
+        """Run a batch of requests, optionally across a thread pool."""
+        requests = list(requests)
+        if workers is not None and workers > 1 and len(requests) > 1:
+            from concurrent.futures import ThreadPoolExecutor
+
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                return list(pool.map(self.execute, requests))
+        return [self.execute(request) for request in requests]
+
+    # -- codegen runner memoization ---------------------------------------
+
+    def _runner(self, backend_name: str) -> Callable:
+        with self._lock:
+            runner = self._runners.get(backend_name)
+        if runner is not None:
+            return runner
+        module_name, renderer_name, filename = _RENDERERS[backend_name]
+        source = self.code if backend_name == self.backend else None
+        if source is None:
+            # Cross-backend execution of an artifact rendered for another
+            # backend: render this one's code on first use.
+            module = __import__(module_name, fromlist=[renderer_name])
+            with self.metrics.time("compile.codegen"):
+                source = getattr(module, renderer_name)(self.scalar_program)
+        namespace: Dict[str, object] = {}
+        exec(compile(source, filename, "exec"), namespace)
+        runner = namespace["run"]
+        with self._lock:
+            self._runners[backend_name] = runner
+        return runner
+
+    def __repr__(self) -> str:
+        return "CompiledProgram(%s, level=%s, backend=%s%s)" % (
+            self.digest[:12],
+            self.level,
+            self.backend,
+            ", cached" if self.from_cache else "",
+        )

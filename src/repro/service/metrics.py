@@ -1,0 +1,129 @@
+"""Counters and timers for the serving layer.
+
+One :class:`Metrics` instance aggregates everything a service does:
+cache hits/misses, per-pass compile time (``compile.normalize``,
+``compile.deps``, ``compile.fusion``, ``compile.scalarize``,
+``compile.codegen``), and per-backend execution time
+(``execute.codegen_np`` etc.).  Snapshots are plain JSON-serializable
+dicts, printed by ``repro serve --stats`` and exportable with
+``--stats-json``.
+
+All mutation is lock-protected so ``Service.submit_many`` can record
+from worker-pool threads.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
+
+
+class TimerStat:
+    """Aggregate of one named timer: count / total / min / max seconds."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = 0.0
+
+    def observe(self, seconds: float) -> None:
+        self.count += 1
+        self.total += seconds
+        self.min = min(self.min, seconds)
+        self.max = max(self.max, seconds)
+
+    def merge(self, other: "TimerStat") -> None:
+        self.count += other.count
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
+    def snapshot(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "total_s": self.total,
+            "mean_s": self.total / self.count if self.count else 0.0,
+            "min_s": self.min if self.count else 0.0,
+            "max_s": self.max,
+        }
+
+
+class Metrics:
+    """A thread-safe registry of named counters and timers."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {}
+        self._timers: Dict[str, TimerStat] = {}
+
+    # -- recording ---------------------------------------------------------
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def observe(self, name: str, seconds: float) -> None:
+        with self._lock:
+            stat = self._timers.get(name)
+            if stat is None:
+                stat = self._timers[name] = TimerStat()
+            stat.observe(seconds)
+
+    @contextmanager
+    def time(self, name: str) -> Iterator[None]:
+        """Time a block: ``with metrics.time("compile.normalize"): ...``"""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(name, time.perf_counter() - start)
+
+    def merge(self, other: "Metrics") -> None:
+        """Fold another registry's counts into this one."""
+        with other._lock:
+            counters = dict(other._counters)
+            timers = {name: stat for name, stat in other._timers.items()}
+        with self._lock:
+            for name, amount in counters.items():
+                self._counters[name] = self._counters.get(name, 0) + amount
+            for name, stat in timers.items():
+                mine = self._timers.get(name)
+                if mine is None:
+                    mine = self._timers[name] = TimerStat()
+                mine.merge(stat)
+
+    # -- reading -----------------------------------------------------------
+
+    def counter(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def timer(self, name: str) -> Optional[Dict[str, float]]:
+        with self._lock:
+            stat = self._timers.get(name)
+            return stat.snapshot() if stat else None
+
+    def snapshot(self) -> Dict[str, object]:
+        """All counters and timers as one JSON-serializable dict."""
+        with self._lock:
+            return {
+                "counters": dict(sorted(self._counters.items())),
+                "timers": {
+                    name: stat.snapshot()
+                    for name, stat in sorted(self._timers.items())
+                },
+            }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._timers.clear()

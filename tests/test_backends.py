@@ -40,13 +40,83 @@ def test_registry_names_and_aliases():
     assert get_backend("py").name == "codegen_py"
     assert get_backend("np").name == "codegen_np"
     assert get_backend("numpy").name == "codegen_np"
-    for alias, target in ALIASES.items():
-        assert alias in BACKEND_CHOICES and target in BACKENDS
+    for target in ALIASES.values():
+        assert target in BACKENDS
+
+
+def test_backend_choices_deduplicated():
+    # The CLI help list holds each canonical name exactly once, no aliases.
+    assert BACKEND_CHOICES == sorted(BACKENDS)
+    assert len(BACKEND_CHOICES) == len(set(BACKEND_CHOICES))
+    assert not set(ALIASES) & set(BACKEND_CHOICES)
+
+
+def test_backend_resolution_is_case_insensitive():
+    assert get_backend("INTERP").name == "interp"
+    assert get_backend("NumPy").name == "codegen_np"
+    assert get_backend("  Codegen_Py  ").name == "codegen_py"
+    assert get_backend("PY").name == "codegen_py"
 
 
 def test_unknown_backend_raises():
     with pytest.raises(ReproError, match="unknown backend"):
         get_backend("fortran")
+
+
+def test_unknown_backend_message_lists_names_and_aliases():
+    with pytest.raises(ReproError) as excinfo:
+        get_backend("fortran")
+    message = str(excinfo.value)
+    assert "'fortran'" in message
+    for name in BACKENDS:
+        assert name in message
+    for alias, target in ALIASES.items():
+        assert "%s=%s" % (alias, target) in message
+
+
+SEED_SOURCE = """
+program seed;
+config n : integer = 4;
+region R = [1..n];
+var A : [R] float;
+var B : [R] float;
+var s : float;
+begin
+  [R] B := A + 1.0;
+  s := +<< [R] B;
+end;
+"""
+
+
+def seed_scalar_program():
+    program = normalize_source(SEED_SOURCE)
+    return scalarize(program, plan_program(program, C2))
+
+
+@pytest.mark.parametrize("backend", sorted(BACKENDS))
+def test_initial_arrays_seed_state(backend):
+    # B := A + 1 over a seeded A must observe the seeded contents, not
+    # zeros, on every backend; seeded values use the allocation layout a
+    # previous run returns.
+    scalar_program = seed_scalar_program()
+    cold = execute(scalar_program, backend)
+    seeded = execute(
+        scalar_program,
+        backend,
+        initial_arrays={"A": np.full_like(cold.arrays["A"], 2.0)},
+    )
+    assert float(cold.scalars["s"]) == 4.0
+    assert float(seeded.scalars["s"]) == 12.0
+
+
+def test_initial_arrays_reject_unknown_name_and_bad_shape():
+    from repro.util.errors import InterpError
+
+    program = seed_scalar_program()
+    with pytest.raises(InterpError, match="unknown array"):
+        execute(program, "interp", initial_arrays={"nope": np.zeros(3)})
+    with pytest.raises(InterpError, match="shape"):
+        execute(program, "interp", initial_arrays={"A": np.zeros((2, 2))})
 
 
 @pytest.mark.parametrize("backend", sorted(BACKENDS))
@@ -74,10 +144,21 @@ def test_cli_run_accepts_every_backend(tmp_path, capsys):
 
     path = tmp_path / "reg.zpl"
     path.write_text(SOURCE)
-    for backend in BACKEND_CHOICES:
+    for backend in list(BACKEND_CHOICES) + sorted(ALIASES) + ["NUMPY"]:
         assert main(["run", str(path), "--backend", backend]) == 0
         out = capsys.readouterr().out
         assert "s = 30" in out
+
+
+def test_cli_rejects_unknown_backend(tmp_path, capsys):
+    from repro.cli import main
+
+    path = tmp_path / "reg.zpl"
+    path.write_text(SOURCE)
+    with pytest.raises(SystemExit):
+        main(["run", str(path), "--backend", "fortran"])
+    err = capsys.readouterr().err
+    assert "unknown backend" in err
 
 
 def test_cli_compile_emits_numpy(tmp_path, capsys):

@@ -49,7 +49,7 @@ class TestRendering:
         source = render_python(compile_program(program, BASELINE))
         assert "np.zeros" in source
         assert "for _i1 in range(" in source
-        assert "def run():" in source
+        assert "def run(_inputs=None):" in source
 
     def test_reversed_loop_emitted(self):
         program = normalize_source(

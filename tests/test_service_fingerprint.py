@@ -1,0 +1,121 @@
+"""Content-hash stability: same inputs, same digest — everywhere."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.ir import normalize_source
+from repro.service import fingerprint
+from repro.service.fingerprint import canonical_program, ir_digest, source_digest
+
+SOURCE = """
+program fp;
+config n : integer = 6;
+region R = [1..n];
+var A : [R] float;
+var B : [R] float;
+var s : float;
+var i : integer;
+begin
+  [R] A := Index1 * 2.0;
+  [R] B := A@(-1) + A@(1);
+  s := +<< [R] B;
+  for i := 1 to 3 do
+    [R] B := B + 1.0;
+  end;
+end;
+"""
+
+
+def test_ir_digest_deterministic_within_process():
+    one = ir_digest(normalize_source(SOURCE), "c2", "codegen_np")
+    two = ir_digest(normalize_source(SOURCE), "c2", "codegen_np")
+    assert one == two
+    assert len(one) == 64 and int(one, 16) >= 0
+
+
+def test_canonical_program_excludes_process_local_uids():
+    # Normalizing twice allocates fresh statement uids; the canonical
+    # encoding must not see them.
+    assert canonical_program(normalize_source(SOURCE)) == canonical_program(
+        normalize_source(SOURCE)
+    )
+
+
+def test_digest_changes_with_every_input_dimension():
+    base = source_digest(SOURCE, "c2", {}, "codegen_np")
+    assert source_digest(SOURCE + " ", "c2", {}, "codegen_np") != base
+    assert source_digest(SOURCE, "c2+f3", {}, "codegen_np") != base
+    assert source_digest(SOURCE, "c2", {"n": 9}, "codegen_np") != base
+    assert source_digest(SOURCE, "c2", {}, "codegen_py") != base
+    assert source_digest(SOURCE, "c2", {}, "codegen_np", simplify=True) != base
+    assert (
+        source_digest(SOURCE, "c2", {}, "codegen_np", self_temp_policy="reversal")
+        != base
+    )
+    assert (
+        source_digest(SOURCE, "c2", {}, "codegen_np", code_version="other")
+        != base
+    )
+
+
+def test_ir_digest_distinguishes_programs():
+    other = SOURCE.replace("A@(-1) + A@(1)", "A@(-1) * A@(1)")
+    assert ir_digest(normalize_source(SOURCE), "c2", "np") != ir_digest(
+        normalize_source(other), "c2", "np"
+    )
+
+
+def test_config_value_types_are_distinguished():
+    # 1 and 1.0 and True pick different element semantics downstream.
+    assert source_digest(SOURCE, "c2", {"n": 1}, "np") != source_digest(
+        SOURCE, "c2", {"n": 1.0}, "np"
+    )
+    assert source_digest(SOURCE, "c2", {"n": 1}, "np") != source_digest(
+        SOURCE, "c2", {"n": True}, "np"
+    )
+
+
+_SUBPROCESS_SNIPPET = """
+import sys
+sys.path.insert(0, %r)
+from repro.ir import normalize_source
+from repro.service.fingerprint import ir_digest, source_digest
+source = %r
+print(source_digest(source, "c2", {"n": 8}, "codegen_np"))
+print(ir_digest(normalize_source(source), "c2", "codegen_np"))
+"""
+
+
+def _digests_in_fresh_process(hash_seed: str):
+    src_root = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hash_seed
+    output = subprocess.check_output(
+        [sys.executable, "-c", _SUBPROCESS_SNIPPET % (src_root, SOURCE)],
+        env=env,
+        text=True,
+    )
+    lines = output.strip().splitlines()
+    assert len(lines) == 2
+    return lines
+
+
+def test_digests_stable_across_processes_and_hash_seeds():
+    # The acceptance bar: two separate interpreter processes — with
+    # different PYTHONHASHSEED salts — produce byte-identical digests.
+    first = _digests_in_fresh_process("1")
+    second = _digests_in_fresh_process("4242")
+    assert first == second
+    assert first[0] == source_digest(
+        SOURCE, "c2", {"n": 8}, "codegen_np"
+    )
+    assert first[1] == ir_digest(normalize_source(SOURCE), "c2", "codegen_np")
+
+
+def test_code_version_reads_module_global(monkeypatch):
+    base = source_digest(SOURCE, "c2", {}, "np")
+    monkeypatch.setattr(fingerprint, "CODE_VERSION", "repro-test/bumped")
+    assert source_digest(SOURCE, "c2", {}, "np") != base
