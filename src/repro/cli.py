@@ -89,8 +89,8 @@ def _add_backend_argument(parser, default: str) -> None:
         "--backend", default=default, type=_backend_name,
         metavar="{%s}" % ",".join(BACKEND_CHOICES),
         help="execution back end (case-insensitive; aliases: %s): loop "
-        "interpreter, generated Python element loops, or generated "
-        "whole-region NumPy"
+        "interpreter, generated Python element loops, generated "
+        "whole-region NumPy, or tile-parallel NumPy sweeps"
         % ", ".join("%s=%s" % pair for pair in sorted(ALIASES.items())),
     )
 
@@ -137,6 +137,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="cross-execute against the interp backend and report the "
         "max absolute divergence",
     )
+    run_parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="tile-engine worker threads (np-par backend only; default: "
+        "$REPRO_WORKERS or the processor count)",
+    )
 
     estimate_parser = sub.add_parser("estimate", help="estimate cost")
     common(estimate_parser)
@@ -159,7 +164,8 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     serve_parser.add_argument(
         "--workers", type=int, default=None,
-        help="fan request execution out across N threads",
+        help="fan request execution out across N threads (also sizes the "
+        "np-par backend's tile-engine pool)",
     )
     serve_parser.add_argument(
         "--repeat", type=int, default=1, metavar="N",
@@ -288,7 +294,15 @@ def _max_divergence(result, reference) -> float:
 def cmd_run(args) -> int:
     program, plan = _compile(args)
     scalar_program = scalarize(program, plan)
-    result = execute(scalar_program, args.backend)
+    options = {}
+    if args.workers is not None:
+        if args.backend != "np-par":
+            raise SystemExit(
+                "--workers only applies to the np-par backend "
+                "(got --backend %s)" % args.backend
+            )
+        options["workers"] = args.workers
+    result = execute(scalar_program, args.backend, **options)
     _print_scalars(result.scalars)
     if args.check:
         if args.backend == "interp":

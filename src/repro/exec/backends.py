@@ -16,8 +16,15 @@ Three ways to execute a scalarized program, one calling convention:
     (:mod:`repro.scalarize.codegen_np`), vectorizing every loop level the
     carry analysis proves dependence-free.
 
-All three return an :class:`ExecutionResult`: plain dicts of final array
-and scalar state, directly comparable across back ends.
+``np-par`` (alias ``np_par``, ``par``)
+    The tile-parallel engine (:mod:`repro.parallel.engine`): each
+    dependence-free sweep is sharded into tiles executed on a worker
+    pool, with shardability proved from the same carry analysis.
+    Accepts ``workers=`` / ``tile_shape=`` options (or a prebuilt
+    ``engine=``).
+
+All of them return an :class:`ExecutionResult`: plain dicts of final
+array and scalar state, directly comparable across back ends.
 """
 
 from __future__ import annotations
@@ -74,6 +81,23 @@ def _run_codegen_np(
     return ExecutionResult(dict(arrays), dict(scalars))
 
 
+def _run_np_par(
+    program: ScalarProgram,
+    initial_arrays: InitialArrays = None,
+    workers: Optional[int] = None,
+    tile_shape=None,
+    engine=None,
+) -> ExecutionResult:
+    from repro.parallel.engine import TileEngine, execute_numpy_par
+
+    if engine is None and (workers is not None or tile_shape is not None):
+        engine = TileEngine(workers=workers, tile_shape=tile_shape)
+    arrays, scalars = execute_numpy_par(
+        program, inputs=initial_arrays, engine=engine
+    )
+    return ExecutionResult(dict(arrays), dict(scalars))
+
+
 BACKENDS: Dict[str, Backend] = {
     "interp": Backend("interp", "tree-walking loop interpreter", _run_interp),
     "codegen_py": Backend(
@@ -81,6 +105,9 @@ BACKENDS: Dict[str, Backend] = {
     ),
     "codegen_np": Backend(
         "codegen_np", "generated whole-region NumPy slices", _run_codegen_np
+    ),
+    "np-par": Backend(
+        "np-par", "tile-parallel NumPy sweeps on a worker pool", _run_np_par
     ),
 }
 
@@ -90,6 +117,8 @@ ALIASES: Dict[str, str] = {
     "py": "codegen_py",
     "np": "codegen_np",
     "numpy": "codegen_np",
+    "np_par": "np-par",
+    "par": "np-par",
 }
 
 #: Canonical backend names only — aliases resolve to these but are not
@@ -120,11 +149,15 @@ def execute(
     program: ScalarProgram,
     backend: str = "interp",
     initial_arrays: InitialArrays = None,
+    **options,
 ) -> ExecutionResult:
     """Execute a scalarized program on the named backend.
 
     ``initial_arrays`` seeds named arrays with starting contents instead of
     zeros; values must match the allocation-region shape the backend would
     itself allocate (exactly what a previous run's result holds).
+    Keyword ``options`` pass through to the backend (``np-par`` takes
+    ``workers=``, ``tile_shape=`` or ``engine=``); backends reject
+    options they do not understand.
     """
-    return get_backend(backend).execute(program, initial_arrays)
+    return get_backend(backend).execute(program, initial_arrays, **options)

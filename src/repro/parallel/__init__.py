@@ -17,6 +17,15 @@ from repro.parallel.distribution import (
     balanced_factorization,
     scaled_global_extent,
 )
+from repro.parallel.engine import (
+    ParNumpyGenerator,
+    TileEngine,
+    default_engine,
+    default_workers,
+    execute_numpy_par,
+    render_numpy_par,
+)
+from repro.parallel.tiling import halo_elements, plan_tiles, tile_count
 from repro.parallel.interaction import (
     FAVOR_COMM,
     FAVOR_FUSION,
@@ -31,17 +40,26 @@ __all__ = [
     "FAVOR_COMM",
     "FAVOR_FUSION",
     "NO_COMM_OPTS",
+    "ParNumpyGenerator",
     "ParallelCostModel",
     "ProcessorGrid",
+    "TileEngine",
     "analyze_run",
     "balanced_factorization",
     "combine_messages",
     "comm_merge_filter",
     "communicated_arrays",
+    "default_engine",
+    "default_workers",
     "eliminate_redundant",
     "estimate_parallel",
+    "execute_numpy_par",
+    "halo_elements",
     "message_cost_us",
     "optimized_comm_cost_us",
+    "plan_tiles",
+    "render_numpy_par",
     "scaled_global_extent",
     "singleton_messages",
+    "tile_count",
 ]

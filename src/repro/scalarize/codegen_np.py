@@ -41,7 +41,7 @@ Reductions evaluate their operand over the whole region and fold it with
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 from repro.ir import expr as ir
 from repro.ir.linexpr import LinearExpr
@@ -56,6 +56,157 @@ from repro.scalarize.loopnest import (
     loop_variable,
 )
 from repro.util.errors import ScalarizationError
+
+
+def _nest_array_names(nest: LoopNest) -> List[str]:
+    names = []
+    for stmt in nest.body:
+        if stmt.target is not None:
+            names.append(stmt.target)
+        for node in stmt.rhs.walk():
+            if isinstance(node, ir.ArrayRef):
+                names.append(node.name)
+    return names
+
+
+def vector_split(
+    nest: LoopNest, partial: Optional[Dict[str, Tuple[int, int]]] = None
+) -> Optional[Tuple[Tuple[int, ...], Tuple[int, ...]]]:
+    """The legal (serial prefix, vectorized dims) split for a nest.
+
+    ``None`` means the nest must run as element loops: unknown carry
+    depth, every level carried, or modular (circular-buffer) indexing.
+    Otherwise returns ``(serial_levels, vdims)``: the outermost
+    ``carried_depth`` signed structure entries that must stay serial
+    loops, and the array dimensions (1-based, ascending) proved
+    dependence-free by the carry analysis — the dimensions a vectorizer
+    may collapse to slices and a tile engine may shard across workers.
+    """
+    if nest.carried_depth is None or nest.carried_depth >= nest.rank:
+        return None
+    if partial and any(name in partial for name in _nest_array_names(nest)):
+        return None
+    serial_levels = tuple(nest.structure[: nest.carried_depth])
+    vdims = tuple(
+        sorted(abs(d) for d in nest.structure[nest.carried_depth :])
+    )
+    return serial_levels, vdims
+
+
+class ShardPlan(NamedTuple):
+    """How one loop nest may be sharded into tiles (see Definition 2).
+
+    The proof obligation is discharged by the carry analysis: every
+    intra-cluster dependence (flow, anti and output, from the cluster's
+    unconstrained distance vectors) is carried by one of the
+    ``serial_levels`` loops, so along the ``shardable_dims`` no
+    dependence has a non-zero component and tiles may execute in any
+    order — or concurrently — between serial iterations.
+
+    ``mode`` is ``"parallel"`` (one kernel sweeps all statements per
+    tile), ``"per-statement"`` (statement-level barriers because a
+    statement reads an array another statement of the same nest writes
+    at a non-zero offset along a shardable dimension), or ``"serial"``
+    (``reason`` says why the nest must not be tiled at all).
+
+    ``halo`` maps each shardable dimension to the widest constant
+    reference offset along it — the number of neighbor elements a tile
+    reads beyond its own bounds, exactly the strip widths
+    :func:`repro.parallel.comm.analyze_run` accounts border-exchange
+    bytes for.
+    """
+
+    serial_levels: Tuple[int, ...]
+    shardable_dims: Tuple[int, ...]
+    mode: str
+    reason: Optional[str]
+    halo: Dict[int, int]
+    hazard_arrays: Tuple[str, ...]
+
+    @property
+    def parallel(self) -> bool:
+        return self.mode != "serial"
+
+
+def _serial_plan(reason: str) -> ShardPlan:
+    return ShardPlan((), (), "serial", reason, {}, ())
+
+
+def shard_plan(
+    nest: LoopNest, partial: Optional[Dict[str, Tuple[int, int]]] = None
+) -> ShardPlan:
+    """Decide how (and whether) a nest may execute as parallel tiles."""
+    split = vector_split(nest, partial)
+    if split is None:
+        if nest.carried_depth is None:
+            return _serial_plan("carried depth unknown (hand-built nest)")
+        if nest.carried_depth >= nest.rank:
+            return _serial_plan("every loop level carries a dependence")
+        return _serial_plan("touches a circular-buffer array")
+    serial_levels, vdims = split
+    body = nest.body
+    if any(stmt.reduce_op is not None for stmt in body):
+        # Tiling a fused reduction would reassociate the fold and break
+        # bit-identity with the whole-region backend.
+        return _serial_plan("fused reduction folds over the region")
+
+    written = {stmt.target for stmt in body if stmt.target is not None}
+    halo: Dict[int, int] = {dim: 0 for dim in vdims}
+    hazard_arrays = set()
+    for stmt in body:
+        for ref in stmt.rhs.array_refs():
+            crosses = False
+            for dim in vdims:
+                width = abs(ref.offset[dim - 1])
+                if width:
+                    halo[dim] = max(halo[dim], width)
+                    crosses = True
+            if crosses and ref.name in written:
+                hazard_arrays.add(ref.name)
+
+    contracted = [
+        stmt for stmt in body if stmt.reduce_op is None and stmt.is_contracted
+    ]
+    if contracted:
+        if hazard_arrays:
+            return _serial_plan(
+                "contraction scalars mixed with cross-tile reads of "
+                "nest-written arrays"
+            )
+        # The corner restore is recomputed at the final index point after
+        # the sweep; that is only the value serial execution leaves behind
+        # if no later statement overwrites an array the scalar reads.
+        for index, stmt in enumerate(body):
+            if stmt.reduce_op is None and stmt.is_contracted:
+                later = {
+                    s.target for s in body[index + 1 :] if s.target is not None
+                }
+                if any(ref.name in later for ref in stmt.rhs.array_refs()):
+                    return _serial_plan(
+                        "contraction scalar reads an array a later "
+                        "statement overwrites"
+                    )
+        return ShardPlan(serial_levels, vdims, "parallel", None, halo, ())
+    if hazard_arrays:
+        return ShardPlan(
+            serial_levels,
+            vdims,
+            "per-statement",
+            None,
+            halo,
+            tuple(sorted(hazard_arrays)),
+        )
+    return ShardPlan(serial_levels, vdims, "parallel", None, halo, ())
+
+
+def program_shard_plans(
+    program: ScalarProgram,
+) -> List[Tuple[LoopNest, ShardPlan]]:
+    """Per-nest shardability metadata for a whole scalarized program."""
+    return [
+        (nest, shard_plan(nest, program.partial))
+        for nest in program.loop_nests()
+    ]
 
 
 class _VectorContext:
@@ -128,26 +279,11 @@ class NumpyGenerator(PyGenerator):
         ``None`` means the nest must run as element loops: unknown carry
         depth, every level carried, or modular (circular-buffer) indexing.
         """
-        if nest.carried_depth is None or nest.carried_depth >= nest.rank:
+        split = vector_split(nest, self._program.partial)
+        if split is None:
             return None
-        if self._program.partial and any(
-            name in self._program.partial for name in self._touched_arrays(nest)
-        ):
-            return None
-        serial_levels = nest.structure[: nest.carried_depth]
-        vdims = [abs(d) for d in nest.structure[nest.carried_depth :]]
+        serial_levels, vdims = split
         return serial_levels, _VectorContext(nest.region, vdims)
-
-    @staticmethod
-    def _touched_arrays(nest: LoopNest) -> List[str]:
-        names = []
-        for stmt in nest.body:
-            if stmt.target is not None:
-                names.append(stmt.target)
-            for node in stmt.rhs.walk():
-                if isinstance(node, ir.ArrayRef):
-                    names.append(node.name)
-        return names
 
     @staticmethod
     def _dim_direction(nest: LoopNest, dim: int) -> int:

@@ -22,6 +22,7 @@ from __future__ import annotations
 import os
 import pickle
 import tempfile
+import threading
 from collections import OrderedDict
 from typing import Dict, List, Optional, Tuple
 
@@ -73,6 +74,10 @@ class ArtifactCache:
         #: ``fingerprint.CODE_VERSION`` and see stale artifacts rejected.
         self._code_version = code_version
         self._memory: "OrderedDict[str, dict]" = OrderedDict()
+        #: Guards the memory tier: OrderedDict reordering under
+        #: concurrent ``get``/``put`` (``Service.submit_many`` worker
+        #: threads) is not atomic on its own.
+        self._memory_lock = threading.Lock()
 
     @property
     def code_version(self) -> str:
@@ -82,9 +87,11 @@ class ArtifactCache:
 
     def get(self, digest: str) -> Optional[dict]:
         """The artifact payload for ``digest``, or None on miss."""
-        artifact = self._memory.get(digest)
+        with self._memory_lock:
+            artifact = self._memory.get(digest)
+            if artifact is not None:
+                self._memory.move_to_end(digest)
         if artifact is not None:
-            self._memory.move_to_end(digest)
             self.metrics.incr("cache.memory_hits")
             return artifact
         artifact = self._disk_get(digest)
@@ -99,13 +106,15 @@ class ArtifactCache:
             self._disk_put(digest, payload)
 
     def invalidate(self, digest: str) -> None:
-        self._memory.pop(digest, None)
+        with self._memory_lock:
+            self._memory.pop(digest, None)
         path = self._path(digest)
         if os.path.exists(path):
             os.remove(path)
 
     def clear(self) -> None:
-        self._memory.clear()
+        with self._memory_lock:
+            self._memory.clear()
         for path, _size, _mtime in self.disk_entries():
             try:
                 os.remove(path)
@@ -115,11 +124,15 @@ class ArtifactCache:
     # -- memory tier -------------------------------------------------------
 
     def _memory_put(self, digest: str, payload: dict) -> None:
-        self._memory[digest] = payload
-        self._memory.move_to_end(digest)
-        while len(self._memory) > self.memory_entries:
-            self._memory.popitem(last=False)
-            self.metrics.incr("cache.memory_evictions")
+        evictions = 0
+        with self._memory_lock:
+            self._memory[digest] = payload
+            self._memory.move_to_end(digest)
+            while len(self._memory) > self.memory_entries:
+                self._memory.popitem(last=False)
+                evictions += 1
+        if evictions:
+            self.metrics.incr("cache.memory_evictions", evictions)
 
     # -- disk tier ---------------------------------------------------------
 
@@ -233,7 +246,7 @@ class ArtifactCache:
             "root": self.root,
             "persistent": self.persistent,
             "code_version": self.code_version,
-            "memory_entries": len(self._memory),
+            "memory_entries": len(self._memory),  # len() is atomic enough
             "memory_limit": self.memory_entries,
             "disk_entries": len(entries),
             "disk_bytes": sum(size for _p, size, _m in entries),

@@ -32,6 +32,7 @@ Request = Optional[Mapping[str, object]]
 _RENDERERS = {
     "codegen_py": ("repro.scalarize.codegen_py", "render_python", "<repro-serve>"),
     "codegen_np": ("repro.scalarize.codegen_np", "render_numpy", "<repro-serve-np>"),
+    "np-par": ("repro.parallel.engine", "render_numpy_par", "<repro-serve-np-par>"),
 }
 
 
@@ -61,11 +62,15 @@ class CompiledProgram:
         payload: Dict[str, object],
         metrics: Optional[Metrics] = None,
         from_cache: bool = False,
+        engine=None,
     ) -> None:
         self._payload = payload
         self.metrics = metrics or Metrics()
         #: Whether this instance was served from the artifact cache.
         self.from_cache = from_cache
+        #: Tile engine handed to ``np-par`` executions (None: the
+        #: process-wide default engine).
+        self.engine = engine
         self._lock = threading.Lock()
         #: backend name -> compiled ``run`` callable (codegen backends).
         self._runners: Dict[str, Callable] = {}
@@ -127,7 +132,11 @@ class CompiledProgram:
             )
         with self.metrics.time("execute.%s" % backend_name):
             if backend_name in _RENDERERS:
-                raw_arrays, raw_scalars = self._runner(backend_name)(arrays)
+                runner = self._runner(backend_name)
+                if backend_name == "np-par":
+                    raw_arrays, raw_scalars = runner(arrays, self.engine)
+                else:
+                    raw_arrays, raw_scalars = runner(arrays)
                 result = ExecutionResult(dict(raw_arrays), dict(raw_scalars))
             else:
                 result = get_backend(backend_name).execute(

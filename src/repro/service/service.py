@@ -18,6 +18,8 @@ execution cost (the Bohrium fuse-cache / Dask compile-once pattern).
 
 from __future__ import annotations
 
+import threading
+from concurrent.futures import Future
 from typing import Dict, List, Mapping, Optional, Sequence, Union
 
 from repro.exec import ExecutionResult, get_backend
@@ -80,6 +82,16 @@ class Service:
         self.workers = workers
         self.self_temp_policy = self_temp_policy
         self.simplify = simplify
+        #: Tile engine shared by every ``np-par`` execution this service
+        #: runs, so tile/sweep/serial-fallback counts land in the
+        #: service's metrics registry.
+        from repro.parallel.engine import TileEngine
+
+        self.tile_engine = TileEngine(workers=workers, metrics=self.metrics)
+        #: Single-flight compilation: digest -> in-progress Future, so
+        #: concurrent misses on one digest run the pipeline exactly once.
+        self._inflight: Dict[str, Future] = {}
+        self._inflight_lock = threading.Lock()
 
     # -- compile -----------------------------------------------------------
 
@@ -117,11 +129,38 @@ class Service:
         payload = self.cache.get(digest)
         if payload is not None:
             self.metrics.incr("cache.hits")
-            return CompiledProgram(payload, metrics=self.metrics, from_cache=True)
-        self.metrics.incr("cache.misses")
-        payload = self._build(source, level_obj, config, backend_name, digest)
-        self.cache.put(digest, payload)
-        return CompiledProgram(payload, metrics=self.metrics, from_cache=False)
+            return self._wrap(payload, from_cache=True)
+
+        # Single-flight: the first thread to miss owns the build; every
+        # concurrent miss on the same digest waits for its result instead
+        # of repeating the pipeline.
+        with self._inflight_lock:
+            future = self._inflight.get(digest)
+            owner = future is None
+            if owner:
+                future = self._inflight[digest] = Future()
+        if not owner:
+            return self._wrap(future.result(), from_cache=True)
+        try:
+            self.metrics.incr("cache.misses")
+            payload = self._build(source, level_obj, config, backend_name, digest)
+            self.cache.put(digest, payload)
+            future.set_result(payload)
+        except BaseException as error:
+            future.set_exception(error)
+            raise
+        finally:
+            with self._inflight_lock:
+                self._inflight.pop(digest, None)
+        return self._wrap(payload, from_cache=False)
+
+    def _wrap(self, payload: Dict[str, object], from_cache: bool) -> CompiledProgram:
+        return CompiledProgram(
+            payload,
+            metrics=self.metrics,
+            from_cache=from_cache,
+            engine=self.tile_engine,
+        )
 
     def _build(
         self,
@@ -132,6 +171,7 @@ class Service:
         digest: str,
     ) -> Dict[str, object]:
         build = Metrics()
+        self.metrics.incr("service.compiles")
         with build.time("compile.total"):
             with build.time("compile.normalize"):
                 program = normalize_source(source, config, self.self_temp_policy)
@@ -149,6 +189,10 @@ class Service:
                     code = render_python(scalar_program)
                 elif backend_name == "codegen_np":
                     code = render_numpy(scalar_program)
+                elif backend_name == "np-par":
+                    from repro.parallel.engine import render_numpy_par
+
+                    code = render_numpy_par(scalar_program)
         snapshot = build.snapshot()["timers"]
         timings = {
             name: stats["total_s"]

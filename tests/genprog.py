@@ -1,0 +1,167 @@
+"""Seeded random mini-ZPL program generator for differential fuzzing.
+
+Unlike the Hypothesis strategies in ``test_differential.py``, this
+generator is plain ``random.Random``: a seed maps to exactly one program
+text, forever.  That makes the fuzz corpus reproducible across machines
+and CI runs (``REPRO_FUZZ_COUNT`` seeds, fixed base), lets a failure be
+replayed with nothing but its seed, and keeps the CI smoke job's corpus
+byte-stable.
+
+Programs exercise the surfaces the optimizer transforms:
+
+* multi-statement blocks over full and interior regions (fusion and
+  contraction candidates, constant reference offsets up to ±2 — wider
+  than one element, so tile halos are wider than extent-1 tiles);
+* boundary statements (``wrap`` / ``reflect``) splitting basic blocks;
+* full reductions (``+<<``, ``max<<``, ``min<<``) over non-empty
+  regions;
+* sequential loops, including row sweeps over dynamic regions
+  (``[i, 1..n]`` — the contraction-soundness frontier);
+* randomized config bounds, so region extents (and therefore tile
+  layouts) differ per program.
+
+Every generated program ends by folding all array state into scalar
+``t``, so backends are compared on every element even when a test only
+looks at scalars.
+"""
+
+from __future__ import annotations
+
+import random
+
+ARRAYS = ["A", "B", "C", "D", "E"]
+
+_SEEDS = [
+    "Index1 * 1.5 + Index2",
+    "Index1 - Index2 * 0.5",
+    "(Index1 * 3.7 + Index2 * 1.3) % 2.0",
+    "1.0",
+    "0.25 * Index2",
+]
+
+
+class ProgramGenerator:
+    """One seeded program: ``ProgramGenerator(seed).generate()``."""
+
+    def __init__(self, seed: int) -> None:
+        self.rng = random.Random(seed)
+        self.seed = seed
+
+    # -- expressions -------------------------------------------------------
+
+    def offset(self, width: int = 2) -> tuple:
+        return (
+            self.rng.randint(-width, width),
+            self.rng.randint(-width, width),
+        )
+
+    def array_ref(self) -> str:
+        name = self.rng.choice(ARRAYS)
+        off = self.offset()
+        if off == (0, 0):
+            return name
+        return "%s@(%d,%d)" % (name, off[0], off[1])
+
+    def expr(self, depth: int = 0) -> str:
+        choice = self.rng.randint(0, 6 if depth < 2 else 3)
+        if choice == 0:
+            return "%.2f" % self.rng.uniform(0.5, 4.0)
+        if choice == 1:
+            return self.array_ref()
+        if choice == 2:
+            return self.rng.choice(["Index1", "Index2", "s"])
+        if choice == 3:
+            return "sqrt(abs(%s) + 0.1)" % self.expr(depth + 1)
+        op = self.rng.choice(["+", "-", "*"])
+        return "(%s %s %s)" % (self.expr(depth + 1), op, self.expr(depth + 1))
+
+    # -- statements --------------------------------------------------------
+
+    def statement(self) -> str:
+        target = self.rng.choice(ARRAYS)
+        region = self.rng.choice(["R", "I"])
+        return "  [%s] %s := %s;" % (region, target, self.expr())
+
+    def boundary_statement(self) -> str:
+        kind = self.rng.choice(["wrap", "reflect"])
+        return "  [R] %s %s;" % (kind, self.rng.choice(ARRAYS))
+
+    def reduction_statement(self) -> str:
+        op = self.rng.choice(["+", "max", "min"])
+        return "  s := %s<< [R] %s;" % (op, self.rng.choice(ARRAYS))
+
+    def row_statement(self) -> str:
+        """A dynamic-region statement for a row-sweep loop body."""
+        target = self.rng.choice(ARRAYS)
+        source = self.rng.choice(ARRAYS)
+        row_offset = self.rng.randint(-1, 0)
+        if row_offset == 0:
+            value = source
+        else:
+            value = "%s@(%d,0)" % (source, row_offset)
+        return "  [i, 1..n] %s := %s + %s;" % (target, value, self.expr(2))
+
+    # -- whole programs ----------------------------------------------------
+
+    def generate(self) -> str:
+        rng = self.rng
+        n = rng.randint(5, 9)
+        ilo1, ilo2 = rng.randint(1, 2), rng.randint(1, 2)
+        ihi1, ihi2 = rng.randint(0, 1), rng.randint(0, 1)
+        lines = []
+        lines.append("program fuzz%d;" % (self.seed if self.seed >= 0 else 0))
+        lines.append("config n : integer = %d;" % n)
+        lines.append("region R = [1..n, 1..n];")
+        lines.append(
+            "region I = [%d..n-%d, %d..n-%d];" % (ilo1, ihi1, ilo2, ihi2)
+        )
+        lines.append("var %s : [R] float;" % ", ".join(ARRAYS))
+        lines.append("var s, t : float;")
+        lines.append("var i : integer;")
+        lines.append("begin")
+        for name, seed_expr in zip(ARRAYS, _SEEDS):
+            lines.append("  [R] %s := %s;" % (name, seed_expr))
+        lines.append("  s := 0.5;")
+
+        for _ in range(rng.randint(1, 7)):
+            lines.append(self.statement())
+        if rng.random() < 0.5:
+            lines.append(self.boundary_statement())
+            for _ in range(rng.randint(0, 2)):
+                lines.append(self.statement())
+        if rng.random() < 0.4:
+            lines.append(self.reduction_statement())
+            for _ in range(rng.randint(0, 2)):
+                lines.append(self.statement())
+        if rng.random() < 0.4:
+            body = [self.statement() for _ in range(rng.randint(1, 3))]
+            lines.append("  for i := 1 to %d do" % rng.randint(2, 3))
+            lines.extend(body)
+            lines.append("  end;")
+        if rng.random() < 0.4:
+            body = [self.row_statement() for _ in range(rng.randint(1, 3))]
+            lines.append("  for i := 2 to n do")
+            lines.extend(body)
+            lines.append("  end;")
+
+        lines.append(
+            "  t := (+<< [R] (A + B)) + (+<< [R] (C + D)) + (+<< [R] E);"
+        )
+        lines.append("end;")
+        return "\n".join(lines) + "\n"
+
+
+def generate_program(seed: int) -> str:
+    """The deterministic program text for one fuzz seed."""
+    return ProgramGenerator(seed).generate()
+
+
+def corpus(count: int, base: int = 0):
+    """The first ``count`` corpus entries as ``(seed, source)`` pairs."""
+    return [(base + k, generate_program(base + k)) for k in range(count)]
+
+
+if __name__ == "__main__":  # pragma: no cover - debugging aid
+    import sys
+
+    print(generate_program(int(sys.argv[1]) if len(sys.argv) > 1 else 0))

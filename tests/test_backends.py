@@ -35,11 +35,13 @@ def scalar_program():
 
 
 def test_registry_names_and_aliases():
-    assert set(BACKENDS) == {"interp", "codegen_py", "codegen_np"}
+    assert set(BACKENDS) == {"interp", "codegen_py", "codegen_np", "np-par"}
     assert get_backend("codegen").name == "codegen_py"
     assert get_backend("py").name == "codegen_py"
     assert get_backend("np").name == "codegen_np"
     assert get_backend("numpy").name == "codegen_np"
+    assert get_backend("np_par").name == "np-par"
+    assert get_backend("par").name == "np-par"
     for target in ALIASES.values():
         assert target in BACKENDS
 
