@@ -1,0 +1,113 @@
+"""Autotuned vs. default serving plans on the fused pipelines.
+
+``bench_parallel_speedup`` shows that the right execution strategy for a
+long fused pipeline (tile-at-a-time ``np-par``) beats the serving
+default (whole-region streaming ``codegen_np``) — but only if someone
+knows to ask for it.  This benchmark closes the loop: run ``tune()`` on
+the same three pipelines with no hints, let the cost-model prior rank
+the candidate plans and the runner measure the top few, and check that
+the plan the autotuner *persists* actually beats the plan an untuned
+service would have run.
+
+For each pipeline the tuner's predicted-vs-measured ranking table is
+saved alongside a final speedup table (default plan vs. tuned winner,
+best-of across interleaved rounds so a noise burst cannot favor either
+side).  Asserts the tuned plan is at least as fast as the default on
+every pipeline and strictly faster on at least ``MIN_STRICT_WINNERS``.
+Saves the tables to ``results/autotune.txt``.
+"""
+
+import time
+
+from bench_parallel_speedup import CASES, N
+from repro.tune import TuneDB, default_plan, tune
+from repro.tune.tuner import compile_for_plan, make_executor
+
+ROUNDS = 4
+REPS = 3
+BUDGET_S = 30.0
+TOP_K = 6
+
+#: The tuned plan must strictly beat the default on this many pipelines.
+MIN_STRICT_WINNERS = 2
+STRICT_MARGIN = 1.05
+
+
+def _best_of_interleaved(run_a, run_b):
+    """Best wall-clock seconds for each runner, rounds interleaved."""
+    run_a(), run_b()  # warm caches, pools, allocators outside the timing
+    best_a = best_b = float("inf")
+    for _round in range(ROUNDS):
+        for _rep in range(REPS):
+            start = time.perf_counter()
+            run_a()
+            best_a = min(best_a, time.perf_counter() - start)
+            start = time.perf_counter()
+            run_b()
+            best_b = min(best_b, time.perf_counter() - start)
+    return best_a, best_b
+
+
+def test_autotune_beats_default(save_result, tmp_path):
+    db = TuneDB(root=str(tmp_path / "tunedb"))
+    base = default_plan()  # what an untuned Service runs: c2 / codegen_np
+    sections = []
+    table = [
+        "Autotuned vs. default serving plan, n=%d" % N,
+        "(default: %s; best of %d rounds x %d reps, interleaved)"
+        % (base.describe(), ROUNDS, REPS),
+        "",
+        "%-20s %-24s %12s %12s %10s"
+        % ("pipeline", "tuned plan", "default", "tuned", "speedup"),
+    ]
+    speedups = {}
+    for label, source in CASES:
+        result = tune(source, db=db, budget_s=BUDGET_S, top_k=TOP_K)
+        sections.append("== %s ==\n%s" % (label, result.render_table()))
+        tuned = result.winner
+        if tuned == base:
+            # The tuner kept the default: nothing to race.
+            speedups[label] = 1.0
+            table.append(
+                "%-20s %-24s %12s %12s %10s"
+                % (label, tuned.describe(), "-", "-", "1.00x (=)")
+            )
+            continue
+        base_run, base_close = make_executor(
+            compile_for_plan(source, base), base
+        )
+        tuned_run, tuned_close = make_executor(
+            compile_for_plan(source, tuned), tuned
+        )
+        try:
+            best_base, best_tuned = _best_of_interleaved(base_run, tuned_run)
+        finally:
+            base_close()
+            tuned_close()
+        speedups[label] = best_base / best_tuned
+        table.append(
+            "%-20s %-24s %12.6f %12.6f %9.2fx"
+            % (label, tuned.describe(), best_base, best_tuned, speedups[label])
+        )
+    strict = [s for s in speedups.values() if s >= STRICT_MARGIN]
+    table.append("")
+    table.append(
+        "tuned >= default on %d/%d pipelines, strictly faster (>=%.2fx) on %d"
+        % (
+            sum(1 for s in speedups.values() if s >= 1.0),
+            len(CASES),
+            STRICT_MARGIN,
+            len(strict),
+        )
+    )
+    save_result(
+        "autotune", "\n\n".join(sections) + "\n\n" + "\n".join(table)
+    )
+    assert all(s >= 1.0 for s in speedups.values()), (
+        "the tuned plan regressed below the default on some pipeline: %r"
+        % speedups
+    )
+    assert len(strict) >= MIN_STRICT_WINNERS, (
+        "the autotuner should strictly beat the default (>=%.2fx) on >= %d "
+        "pipelines; got %r" % (STRICT_MARGIN, MIN_STRICT_WINNERS, speedups)
+    )

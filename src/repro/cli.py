@@ -21,6 +21,11 @@ Commands
     a batch of requests (``--requests requests.json``, optionally across
     ``--workers`` threads); ``--stats`` prints the pipeline metrics JSON.
 
+``tune FILE``
+    Search serving plans (level x backend x workers x tile shape) under a
+    wall-clock budget, print the predicted-vs-measured ranking table, and
+    persist the winner in the tuning database for ``serve --tune``.
+
 ``stats``
     Inspect the on-disk artifact cache: entries, sizes, levels, backends.
 
@@ -84,6 +89,30 @@ def _backend_name(name: str) -> str:
         raise argparse.ArgumentTypeError(str(error))
 
 
+def _positive_int(text: str):
+    """Validate count arguments (``--workers``) at parse time, so a bad
+    value is a clean usage error instead of a deep planner failure."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError("expected an integer, got %r" % text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            "expected a positive integer, got %d" % value
+        )
+    return value
+
+
+def _tile_shape(text: str):
+    """Parse and validate a --tile-shape value (``N`` or ``NxM``)."""
+    from repro.parallel.tiling import parse_tile_shape
+
+    try:
+        return parse_tile_shape(text)
+    except ReproError as error:
+        raise argparse.ArgumentTypeError(str(error))
+
+
 def _add_backend_argument(parser, default: str) -> None:
     parser.add_argument(
         "--backend", default=default, type=_backend_name,
@@ -138,9 +167,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "max absolute divergence",
     )
     run_parser.add_argument(
-        "--workers", type=int, default=None, metavar="N",
+        "--workers", type=_positive_int, default=None, metavar="N",
         help="tile-engine worker threads (np-par backend only; default: "
         "$REPRO_WORKERS or the processor count)",
+    )
+    run_parser.add_argument(
+        "--tile-shape", type=_tile_shape, default=None, metavar="N|NxM",
+        help="force the tile shape for np-par sweeps (e.g. 32 or 32x1600; "
+        "default: $REPRO_TILE_SHAPE or balanced factorization)",
     )
 
     estimate_parser = sub.add_parser("estimate", help="estimate cost")
@@ -163,9 +197,18 @@ def _build_parser() -> argparse.ArgumentParser:
         "with no overrides",
     )
     serve_parser.add_argument(
-        "--workers", type=int, default=None,
+        "--workers", type=_positive_int, default=None,
         help="fan request execution out across N threads (also sizes the "
         "np-par backend's tile-engine pool)",
+    )
+    serve_parser.add_argument(
+        "--tile-shape", type=_tile_shape, default=None, metavar="N|NxM",
+        help="force the tile shape for np-par sweeps (e.g. 32 or 32x1600)",
+    )
+    serve_parser.add_argument(
+        "--tune", action="store_true",
+        help="consult the tuning database and serve each program under "
+        "its stored winning plan (run 'repro tune' first)",
     )
     serve_parser.add_argument(
         "--repeat", type=int, default=1, metavar="N",
@@ -187,6 +230,41 @@ def _build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument(
         "--stats-json", metavar="PATH",
         help="also write the stats JSON to PATH",
+    )
+
+    tune_parser = sub.add_parser(
+        "tune", help="search serving plans, persist the winner"
+    )
+    common(tune_parser)
+    _add_backend_argument(tune_parser, default="codegen_np")
+    tune_parser.add_argument(
+        "--budget-s", type=float, default=20.0, metavar="SECONDS",
+        help="wall-clock measurement budget (default: 20)",
+    )
+    tune_parser.add_argument(
+        "--top-k", type=_positive_int, default=6, metavar="K",
+        help="measure only the K best plans by predicted cost (default: 6)",
+    )
+    tune_parser.add_argument(
+        "--repeats", type=_positive_int, default=3, metavar="N",
+        help="timed repeats per candidate; the median is kept (default: 3)",
+    )
+    tune_parser.add_argument(
+        "--warmup", type=int, default=1, metavar="N",
+        help="untimed warmup runs per candidate (default: 1)",
+    )
+    tune_parser.add_argument(
+        "--force", action="store_true",
+        help="re-measure even if the tuning database already has a winner",
+    )
+    tune_parser.add_argument(
+        "--no-save", action="store_true",
+        help="do not persist the winning plan to the tuning database",
+    )
+    tune_parser.add_argument(
+        "--cache-dir", default=None,
+        help="cache root holding the tunedb (default: $REPRO_CACHE_DIR "
+        "or .repro-cache)",
     )
 
     stats_parser = sub.add_parser(
@@ -295,13 +373,14 @@ def cmd_run(args) -> int:
     program, plan = _compile(args)
     scalar_program = scalarize(program, plan)
     options = {}
-    if args.workers is not None:
-        if args.backend != "np-par":
-            raise SystemExit(
-                "--workers only applies to the np-par backend "
-                "(got --backend %s)" % args.backend
-            )
-        options["workers"] = args.workers
+    for flag, value in (("workers", args.workers), ("tile_shape", args.tile_shape)):
+        if value is not None:
+            if args.backend != "np-par":
+                raise SystemExit(
+                    "--%s only applies to the np-par backend "
+                    "(got --backend %s)" % (flag.replace("_", "-"), args.backend)
+                )
+            options[flag] = value
     result = execute(scalar_program, args.backend, **options)
     _print_scalars(result.scalars)
     if args.check:
@@ -378,6 +457,8 @@ def cmd_serve(args) -> int:
         cache_dir=args.cache_dir,
         persistent=not args.no_cache,
         workers=args.workers,
+        tile_shape=args.tile_shape,
+        tune=args.tune,
         self_temp_policy=args.self_temp_policy,
         simplify=args.simplify,
     )
@@ -385,12 +466,15 @@ def cmd_serve(args) -> int:
     requests = _load_requests(args.requests)
     compiled = service.compile(source, level, base_config)
     print(
-        "compiled %s  level=%s backend=%s  %s"
+        "compiled %s  level=%s backend=%s  %s%s"
         % (
             compiled.digest[:12],
             compiled.level,
             compiled.backend,
             "cache hit" if compiled.from_cache else "cache miss (cold compile)",
+            "  plan=%s (tuned)" % compiled.plan_id
+            if compiled.plan.get("tuned")
+            else "",
         )
     )
     for round_index in range(max(args.repeat, 1)):
@@ -407,6 +491,40 @@ def cmd_serve(args) -> int:
         if args.stats_json:
             with open(args.stats_json, "w") as handle:
                 handle.write(text + "\n")
+    return 0
+
+
+def cmd_tune(args) -> int:
+    from repro.service import Metrics
+    from repro.service.cache import default_cache_dir
+    from repro.tune import TuneDB, default_space, tune
+
+    source = _load(args)
+    level = _level(args.level)
+    root = args.cache_dir or default_cache_dir()
+    import os
+
+    metrics = Metrics()
+    db = TuneDB(root=os.path.join(root, "tunedb"), metrics=metrics)
+    space = default_space(level=level.name, backend=args.backend)
+    result = tune(
+        source,
+        config=_parse_config(args.config),
+        level=level.name,
+        backend=args.backend,
+        space=space,
+        top_k=args.top_k,
+        budget_s=args.budget_s,
+        repeats=args.repeats,
+        warmup=args.warmup,
+        db=db,
+        force=args.force,
+        save=not args.no_save,
+        metrics=metrics,
+        self_temp_policy=args.self_temp_policy,
+        simplify=args.simplify,
+    )
+    print(result.render_table())
     return 0
 
 
@@ -472,6 +590,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "run": cmd_run,
         "estimate": cmd_estimate,
         "serve": cmd_serve,
+        "tune": cmd_tune,
         "stats": cmd_stats,
         "figures": cmd_figures,
     }[args.command]

@@ -12,10 +12,12 @@ from repro.machine.models import (
     ALL_MACHINES,
     CRAY_T3E,
     CommParams,
+    HOST,
     IBM_SP2,
     INTEL_PARAGON,
     MACHINES_BY_NAME,
     MachineModel,
+    host_machine_model,
 )
 from repro.machine.trace import MemoryLayout, nest_trace, reduction_trace, run_trace
 
@@ -29,6 +31,7 @@ __all__ = [
     "CommParams",
     "CostResult",
     "Counts",
+    "HOST",
     "IBM_SP2",
     "INTEL_PARAGON",
     "MACHINES_BY_NAME",
@@ -37,6 +40,7 @@ __all__ = [
     "SequentialCostModel",
     "estimate_analytic",
     "estimate_sequential",
+    "host_machine_model",
     "nest_trace",
     "reduction_trace",
     "run_trace",

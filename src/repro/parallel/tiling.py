@@ -60,6 +60,30 @@ TARGET_TILE_ELEMS = 1 << 18
 MIN_SWEEP_ELEMS = 1 << 12
 
 
+def parse_tile_shape(text: Optional[str]) -> TileShape:
+    """Parse a user-facing tile-shape spec: ``"32"`` or ``"32x1600"``.
+
+    A single integer applies to every sharded dimension (rank-safe for
+    any sweep); an ``x``-separated list forces one extent per dimension
+    and is rejected at sweep time if the ranks disagree.  Empty or
+    ``None`` means the heuristic layout.
+    """
+    if text is None:
+        return None
+    text = text.strip().lower()
+    if not text:
+        return None
+    try:
+        extents = tuple(int(part) for part in text.split("x"))
+    except ValueError:
+        raise MachineError(
+            "tile shape must be N or NxM[x...], got %r" % (text,)
+        )
+    if any(extent < 1 for extent in extents):
+        raise MachineError("tile extents must be positive, got %r" % (text,))
+    return extents[0] if len(extents) == 1 else extents
+
+
 def _chunk_bounds(lo: int, hi: int, parts: int) -> Tuple[Tuple[int, int], ...]:
     """Split ``[lo..hi]`` into ``parts`` near-equal non-empty chunks.
 

@@ -63,6 +63,7 @@ class CompiledProgram:
         metrics: Optional[Metrics] = None,
         from_cache: bool = False,
         engine=None,
+        plan: Optional[Dict[str, object]] = None,
     ) -> None:
         self._payload = payload
         self.metrics = metrics or Metrics()
@@ -71,6 +72,17 @@ class CompiledProgram:
         #: Tile engine handed to ``np-par`` executions (None: the
         #: process-wide default engine).
         self.engine = engine
+        #: The serving plan this artifact runs under: level, backend,
+        #: workers, tile shape, and whether the autotuner chose it.
+        #: Every ``execute`` records it, so ``repro serve --stats`` can
+        #: attribute request counts (and tail latency) to plans.
+        self._plan = plan or {
+            "level": payload.get("level"),
+            "backend": payload.get("backend"),
+            "workers": None,
+            "tile_shape": None,
+            "tuned": False,
+        }
         self._lock = threading.Lock()
         #: backend name -> compiled ``run`` callable (codegen backends).
         self._runners: Dict[str, Callable] = {}
@@ -108,6 +120,26 @@ class CompiledProgram:
     def compile_timings(self) -> Dict[str, float]:
         return dict(self._payload.get("compile_timings") or {})
 
+    @property
+    def plan(self) -> Dict[str, object]:
+        """The serving plan: level/backend/workers/tile_shape/tuned."""
+        return dict(self._plan)
+
+    @property
+    def plan_id(self) -> str:
+        """A compact plan label, e.g. ``c2+f4/np-par/w4/t32x1600``."""
+        parts = [str(self._plan.get("level")), str(self._plan.get("backend"))]
+        workers = self._plan.get("workers")
+        if workers is not None:
+            parts.append("w%d" % workers)
+        tile_shape = self._plan.get("tile_shape")
+        if tile_shape is not None:
+            if isinstance(tile_shape, (list, tuple)):
+                parts.append("t%s" % "x".join(str(e) for e in tile_shape))
+            else:
+                parts.append("t%s" % tile_shape)
+        return "/".join(parts)
+
     # -- execution ---------------------------------------------------------
 
     def execute(
@@ -143,6 +175,9 @@ class CompiledProgram:
                     self.scalar_program, arrays
                 )
         self.metrics.incr("execute.requests")
+        self.metrics.incr("plan.%s" % self.plan_id)
+        if self._plan.get("tuned"):
+            self.metrics.incr("execute.tuned_requests")
         return result
 
     def execute_many(self, requests, workers: Optional[int] = None):

@@ -70,8 +70,10 @@ class Service:
         persistent: bool = True,
         metrics: Optional[Metrics] = None,
         workers: Optional[int] = None,
+        tile_shape=None,
         self_temp_policy: str = "always",
         simplify: bool = False,
+        tune: object = False,
     ) -> None:
         self.level = _resolve_level(level, "c2")
         self.backend = get_backend(backend).name
@@ -80,14 +82,28 @@ class Service:
             root=cache_dir, persistent=persistent, metrics=self.metrics
         )
         self.workers = workers
+        self.tile_shape = tile_shape
         self.self_temp_policy = self_temp_policy
         self.simplify = simplify
+        #: Default tuning behavior for ``compile``/``submit`` calls that
+        #: do not pass ``tune=`` themselves: False (never consult the
+        #: tuning DB), True (consult the default DB), or a
+        #: :class:`repro.tune.tunedb.TuneDB` instance.
+        self.tune = tune
         #: Tile engine shared by every ``np-par`` execution this service
         #: runs, so tile/sweep/serial-fallback counts land in the
         #: service's metrics registry.
         from repro.parallel.engine import TileEngine
 
-        self.tile_engine = TileEngine(workers=workers, metrics=self.metrics)
+        self.tile_engine = TileEngine(
+            workers=workers, tile_shape=tile_shape, metrics=self.metrics
+        )
+        #: Engines for tuned plans that force a specific worker count /
+        #: tile shape, keyed by (workers, tile_shape) so every artifact
+        #: tuned to one configuration shares one pool.
+        self._engines: Dict[tuple, object] = {}
+        self._engines_lock = threading.Lock()
+        self._tunedb = None
         #: Single-flight compilation: digest -> in-progress Future, so
         #: concurrent misses on one digest run the pipeline exactly once.
         self._inflight: Dict[str, Future] = {}
@@ -115,21 +131,98 @@ class Service:
             code_version=self.cache.code_version,
         )
 
+    # -- tuning ------------------------------------------------------------
+
+    def tunedb(self):
+        """The tuning database this service consults (created lazily)."""
+        if self._tunedb is None:
+            from repro.tune.tunedb import TuneDB
+
+            self._tunedb = TuneDB(
+                metrics=self.metrics, code_version=self.cache.code_version
+            )
+        return self._tunedb
+
+    def _tuned_plan(self, source, config, tune):
+        """The stored winning plan for these inputs, or None.
+
+        ``tune`` may be False/None (never consult the DB), True (the
+        default DB) or a :class:`repro.tune.tunedb.TuneDB`.
+        """
+        if tune is None:
+            tune = self.tune
+        if not tune:
+            return None
+        from repro.tune.tunedb import TuneDB
+
+        db = tune if isinstance(tune, TuneDB) else self.tunedb()
+        record = db.get(
+            db.digest_for(source, config, self.self_temp_policy, self.simplify)
+        )
+        if record is None:
+            self.metrics.incr("tune.plan_misses")
+            return None
+        self.metrics.incr("tune.plan_applied")
+        return record.plan
+
+    def engine_for(self, workers=None, tile_shape=None):
+        """A shared tile engine for a specific (workers, tile shape).
+
+        Defaults fall through to the service-wide engine; tuned
+        configurations each get one pool, reused across artifacts.
+        """
+        if workers is None and tile_shape is None:
+            return self.tile_engine
+        if isinstance(tile_shape, list):
+            tile_shape = tuple(tile_shape)
+        key = (workers, tile_shape)
+        with self._engines_lock:
+            engine = self._engines.get(key)
+            if engine is None:
+                from repro.parallel.engine import TileEngine
+
+                engine = self._engines[key] = TileEngine(
+                    workers=workers if workers is not None else self.workers,
+                    tile_shape=tile_shape,
+                    metrics=self.metrics,
+                )
+            return engine
+
+    # -- compile (continued) ----------------------------------------------
+
     def compile(
         self,
         source: str,
         level: Union[Level, str, None] = None,
         config: Optional[Mapping[str, object]] = None,
         backend: Optional[str] = None,
+        tune: object = None,
     ) -> CompiledProgram:
-        """Compile once (or fetch the cached artifact) for these inputs."""
+        """Compile once (or fetch the cached artifact) for these inputs.
+
+        With ``tune`` (or a service-wide ``tune=`` default), the tuning
+        database is consulted first; a stored plan overrides the level,
+        backend, worker count and tile shape, and the artifact is served
+        exactly as if those had been requested directly.
+        """
+        tuned = self._tuned_plan(source, config, tune)
+        if tuned is not None:
+            level = tuned.level
+            backend = tuned.backend
         level_obj = _resolve_level(level, self.level.name)
         backend_name = get_backend(backend or self.backend).name
+        plan = {
+            "level": level_obj.name,
+            "backend": backend_name,
+            "workers": tuned.workers if tuned is not None else None,
+            "tile_shape": tuned.tile_shape if tuned is not None else None,
+            "tuned": tuned is not None,
+        }
         digest = self.digest_for(source, level_obj, config, backend_name)
         payload = self.cache.get(digest)
         if payload is not None:
             self.metrics.incr("cache.hits")
-            return self._wrap(payload, from_cache=True)
+            return self._wrap(payload, from_cache=True, plan=plan)
 
         # Single-flight: the first thread to miss owns the build; every
         # concurrent miss on the same digest waits for its result instead
@@ -140,7 +233,7 @@ class Service:
             if owner:
                 future = self._inflight[digest] = Future()
         if not owner:
-            return self._wrap(future.result(), from_cache=True)
+            return self._wrap(future.result(), from_cache=True, plan=plan)
         try:
             self.metrics.incr("cache.misses")
             payload = self._build(source, level_obj, config, backend_name, digest)
@@ -152,14 +245,23 @@ class Service:
         finally:
             with self._inflight_lock:
                 self._inflight.pop(digest, None)
-        return self._wrap(payload, from_cache=False)
+        return self._wrap(payload, from_cache=False, plan=plan)
 
-    def _wrap(self, payload: Dict[str, object], from_cache: bool) -> CompiledProgram:
+    def _wrap(
+        self,
+        payload: Dict[str, object],
+        from_cache: bool,
+        plan: Optional[Dict[str, object]] = None,
+    ) -> CompiledProgram:
+        engine = self.tile_engine
+        if plan is not None and plan.get("backend") == "np-par":
+            engine = self.engine_for(plan.get("workers"), plan.get("tile_shape"))
         return CompiledProgram(
             payload,
             metrics=self.metrics,
             from_cache=from_cache,
-            engine=self.tile_engine,
+            engine=engine,
+            plan=plan,
         )
 
     def _build(
@@ -221,6 +323,7 @@ class Service:
         config: Optional[Mapping[str, object]],
         backend: Optional[str],
         compiled_by_digest: Dict[str, CompiledProgram],
+        tune: object = None,
     ):
         """Resolve one request to its per-binding artifact plus arrays.
 
@@ -232,11 +335,11 @@ class Service:
         request_config, arrays = split_request(request)
         merged = dict(config or {})
         merged.update(request_config)
-        digest = self.digest_for(source, level, merged, backend)
-        compiled = compiled_by_digest.get(digest)
+        route_key = self.digest_for(source, level, merged, backend)
+        compiled = compiled_by_digest.get(route_key)
         if compiled is None:
-            compiled = self.compile(source, level, merged, backend)
-            compiled_by_digest[digest] = compiled
+            compiled = self.compile(source, level, merged, backend, tune=tune)
+            compiled_by_digest[route_key] = compiled
         return compiled, ({"arrays": arrays} if arrays is not None else None)
 
     def submit(
@@ -246,10 +349,11 @@ class Service:
         level: Union[Level, str, None] = None,
         config: Optional[Mapping[str, object]] = None,
         backend: Optional[str] = None,
+        tune: object = None,
     ) -> ExecutionResult:
         """Compile (or hit the cache) and execute one request."""
         compiled, exec_request = self._route(
-            source, request, level, config, backend, {}
+            source, request, level, config, backend, {}, tune=tune
         )
         return compiled.execute(exec_request)
 
@@ -261,6 +365,7 @@ class Service:
         level: Union[Level, str, None] = None,
         config: Optional[Mapping[str, object]] = None,
         backend: Optional[str] = None,
+        tune: object = None,
     ) -> List[ExecutionResult]:
         """Compile once per distinct config binding, execute every request.
 
@@ -271,7 +376,10 @@ class Service:
         """
         compiled_by_digest: Dict[str, CompiledProgram] = {}
         routed = [
-            self._route(source, request, level, config, backend, compiled_by_digest)
+            self._route(
+                source, request, level, config, backend, compiled_by_digest,
+                tune=tune,
+            )
             for request in requests
         ]
         if workers is None:

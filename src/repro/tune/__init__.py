@@ -1,0 +1,72 @@
+"""The cost-model-guided autotuner.
+
+The serving layer runs one hard-coded plan per program: a default
+optimization level, the heuristic tile layout, and ``$REPRO_WORKERS``
+worker threads.  The paper's evaluation (Section 5) instead sweeps
+fusion/contraction configurations and explains the measurements with
+analytic machine models; this package closes that loop in production
+form, the way runtime array frameworks (Bohrium's fuse cache, Kristensen
+et al.'s runtime fusion) pick fusion strategies empirically:
+
+:mod:`repro.tune.space`
+    Enumerates candidate plans — (level, backend, workers, tile shape) —
+    and ranks them with a closed-form instance of the analytic
+    cost/communication models as a *prior*, so only the top-K candidates
+    are ever measured.
+
+:mod:`repro.tune.runner`
+    Measures candidates on the real machine: warmup, median-of-k
+    repeats, a variance guard that re-measures noisy candidates, and a
+    wall-clock budget with early stopping.
+
+:mod:`repro.tune.tunedb`
+    Persists winning plans in ``.repro-cache/tunedb/``, keyed by the
+    program's tuning digest, stamped with a machine signature (CPU
+    count, NumPy version, code version) and self-invalidating on any
+    stamp mismatch — the artifact cache's discipline applied to tuning
+    decisions.
+
+:mod:`repro.tune.tuner`
+    Orchestrates the above: ``tune(source)`` returns a
+    :class:`~repro.tune.tuner.TuneResult` whose ranking table shows
+    predicted vs. measured cost per candidate; a tunedb hit skips
+    compilation and measurement entirely.
+"""
+
+from repro.tune.runner import Budget, Measurement, Runner
+from repro.tune.space import (
+    Plan,
+    PlanSpace,
+    default_plan,
+    default_space,
+    enumerate_plans,
+    predict_cost,
+)
+from repro.tune.tunedb import (
+    TUNEDB_SCHEMA,
+    TuneDB,
+    TuneRecord,
+    default_tunedb_dir,
+    machine_signature,
+)
+from repro.tune.tuner import RankedPlan, TuneResult, tune
+
+__all__ = [
+    "Budget",
+    "Measurement",
+    "Plan",
+    "PlanSpace",
+    "RankedPlan",
+    "Runner",
+    "TUNEDB_SCHEMA",
+    "TuneDB",
+    "TuneRecord",
+    "TuneResult",
+    "default_plan",
+    "default_space",
+    "default_tunedb_dir",
+    "enumerate_plans",
+    "machine_signature",
+    "predict_cost",
+    "tune",
+]

@@ -1,0 +1,190 @@
+"""Measuring candidate plans on the machine that will serve them.
+
+The prior (:mod:`repro.tune.space`) decides *what* to measure; this
+module decides *how*:
+
+* **warmup** runs first — they pay pool creation, code-object
+  compilation and allocator warm-up so the timed repeats do not;
+* the reported time is the **median of k repeats** (robust against a
+  single co-tenant burst, unlike the mean);
+* a **variance guard** re-measures candidates whose repeat spread
+  ``(max - min) / median`` exceeds a threshold, up to a bounded number
+  of extra repeats, so a noisy measurement cannot crown a wrong winner;
+* a **wall-clock budget** stops the whole tuning run early: candidates
+  that were never measured fall back to their predicted rank, and a
+  candidate whose *first* repeat already exceeds a cutoff (several
+  times the best median so far) is abandoned without finishing its
+  repeats — no budget is wasted proving a loser is slow.
+
+The runner is deliberately ignorant of plans and programs: it times a
+zero-argument callable.  The tuner builds that callable (rendered code
+object, tile engine with the candidate's workers/tile shape) once per
+candidate, outside the timed region.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from typing import Callable, List, NamedTuple, Optional
+
+#: Abandon a candidate whose first timed repeat exceeds the best median
+#: so far by this factor.
+CUTOFF_FACTOR = 3.0
+
+#: Hard cap on variance-guard re-measurements per candidate.
+MAX_EXTRA_REPEATS = 3
+
+
+class Budget:
+    """A wall-clock allowance for one tuning run.
+
+    ``seconds=None`` means unlimited.  ``clock`` is injectable so tests
+    can drive deterministic schedules.
+    """
+
+    def __init__(
+        self,
+        seconds: Optional[float] = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self.seconds = seconds
+        self._clock = clock
+        self._start = clock()
+
+    def elapsed(self) -> float:
+        return self._clock() - self._start
+
+    def remaining(self) -> float:
+        if self.seconds is None:
+            return float("inf")
+        return self.seconds - self.elapsed()
+
+    @property
+    def exhausted(self) -> bool:
+        return self.remaining() <= 0.0
+
+    def __repr__(self) -> str:
+        return "Budget(%.3fs elapsed, %s)" % (
+            self.elapsed(),
+            "unlimited" if self.seconds is None else "%.3fs total" % self.seconds,
+        )
+
+
+class Measurement(NamedTuple):
+    """The outcome of measuring one candidate."""
+
+    seconds: float  # median over the timed repeats
+    repeats: int  # timed repeats actually taken
+    spread: float  # (max - min) / median over the repeats
+    aborted: bool  # True when the cutoff stopped the repeats early
+
+
+class Runner:
+    """Times candidate executions with warmup, repeats and guards."""
+
+    def __init__(
+        self,
+        warmup: int = 1,
+        repeats: int = 3,
+        max_spread: float = 0.25,
+        max_extra_repeats: int = MAX_EXTRA_REPEATS,
+        metrics=None,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self.warmup = max(0, int(warmup))
+        self.repeats = max(1, int(repeats))
+        self.max_spread = float(max_spread)
+        self.max_extra_repeats = max(0, int(max_extra_repeats))
+        self.metrics = metrics
+        self.clock = clock
+        #: Total measurements taken; the determinism tests assert a
+        #: tunedb hit leaves this at zero.
+        self.calls = 0
+
+    # ------------------------------------------------------------------
+
+    def _timed(self, run: Callable[[], object]) -> float:
+        start = self.clock()
+        run()
+        return self.clock() - start
+
+    def measure(
+        self,
+        run: Callable[[], object],
+        budget: Optional[Budget] = None,
+        cutoff_s: Optional[float] = None,
+    ) -> Optional[Measurement]:
+        """Measure one candidate; ``None`` when the budget is exhausted.
+
+        ``cutoff_s`` abandons the candidate after its first timed repeat
+        when that repeat alone proves it uncompetitive.
+        """
+        if budget is not None and budget.exhausted:
+            return None
+        self.calls += 1
+        if self.metrics is not None:
+            self.metrics.incr("tune.measurements")
+        samples: List[float] = []
+        timer = self.metrics.time if self.metrics is not None else None
+        with _maybe(timer, "tune.measure"):
+            for _ in range(self.warmup):
+                if budget is not None and budget.exhausted:
+                    break
+                self._timed(run)  # discarded
+            aborted = False
+            for index in range(self.repeats):
+                if samples and budget is not None and budget.exhausted:
+                    break
+                samples.append(self._timed(run))
+                if (
+                    index == 0
+                    and cutoff_s is not None
+                    and samples[0] > cutoff_s
+                ):
+                    aborted = True
+                    break
+            # Variance guard: a noisy candidate gets extra repeats while
+            # the budget lasts.
+            extra = 0
+            while (
+                not aborted
+                and len(samples) >= 2
+                and _spread(samples) > self.max_spread
+                and extra < self.max_extra_repeats
+                and (budget is None or not budget.exhausted)
+            ):
+                samples.append(self._timed(run))
+                extra += 1
+                if self.metrics is not None:
+                    self.metrics.incr("tune.extra_repeats")
+        return Measurement(
+            seconds=statistics.median(samples),
+            repeats=len(samples),
+            spread=_spread(samples),
+            aborted=aborted,
+        )
+
+
+def _spread(samples: List[float]) -> float:
+    if len(samples) < 2:
+        return 0.0
+    median = statistics.median(samples)
+    if median <= 0.0:
+        return 0.0
+    return (max(samples) - min(samples)) / median
+
+
+class _maybe:
+    """``with metrics.time(name)`` when metrics exist, no-op otherwise."""
+
+    def __init__(self, timer, name: str) -> None:
+        self._cm = timer(name) if timer is not None else None
+
+    def __enter__(self):
+        if self._cm is not None:
+            return self._cm.__enter__()
+
+    def __exit__(self, *exc_info):
+        if self._cm is not None:
+            return self._cm.__exit__(*exc_info)

@@ -1,0 +1,294 @@
+"""The persistent tuning database.
+
+A tuning run is expensive (it measures real executions), so its outcome
+is cached with the same discipline the artifact cache applies to
+compiled code: content-addressed files, stamped envelopes, and
+self-invalidation on read — a stale or corrupt record can only ever cost
+a re-tune, never a wrong plan.
+
+Records live under ``<cache root>/tunedb/<digest[:2]>/<digest>.json``
+(the same root as the artifact cache, so ``REPRO_CACHE_DIR`` moves
+both).  The digest is :func:`repro.service.fingerprint.tune_digest` —
+the program, its config bindings and normalization options, but *not*
+the level/backend/workers/tile shape, which are the decision variables.
+Each record carries a **machine signature** (CPU count, NumPy version,
+platform, code version): a plan tuned on one machine is meaningless on
+another, so a signature mismatch is treated exactly like a corrupt
+record — dropped on read, forcing a re-tune.
+
+Records are JSON, not pickle: they are tiny, human-inspectable
+(``repro tune --show`` prints them verbatim), and a malformed file can
+never execute code on load.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import tempfile
+import threading
+import time
+from typing import Dict, List, NamedTuple, Optional, Tuple
+
+from repro.service import fingerprint
+from repro.service.cache import default_cache_dir
+from repro.tune.space import Plan
+
+#: Envelope layout version — bump on any change to the record format.
+TUNEDB_SCHEMA = 1
+
+TUNEDB_SUBDIR = "tunedb"
+
+
+def default_tunedb_dir() -> str:
+    """``<artifact cache root>/tunedb`` (respects ``REPRO_CACHE_DIR``)."""
+    return os.path.join(default_cache_dir(), TUNEDB_SUBDIR)
+
+
+def machine_signature() -> Dict[str, object]:
+    """What must match for a stored plan to be trusted on this host.
+
+    CPU count (the worker axis), NumPy version (vectorized execution
+    speed), the interpreter, and the platform.  The compiler's own
+    ``CODE_VERSION`` is stamped separately on the envelope.
+    """
+    try:
+        import numpy
+
+        numpy_version = numpy.__version__
+    except Exception:  # pragma: no cover - numpy is baked into the image
+        numpy_version = "none"
+    return {
+        "cpu_count": os.cpu_count() or 1,
+        "numpy": numpy_version,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+    }
+
+
+class TuneRecord(NamedTuple):
+    """One stored tuning decision."""
+
+    plan: Plan
+    measured_s: Optional[float]  # winner's median seconds (None: unmeasured)
+    predicted_us: Optional[float]  # winner's cost-model prediction
+    created_at: float
+    signature: Dict[str, object]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "plan": self.plan.to_dict(),
+            "measured_s": self.measured_s,
+            "predicted_us": self.predicted_us,
+            "created_at": self.created_at,
+            "signature": dict(self.signature),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "TuneRecord":
+        return cls(
+            plan=Plan.from_dict(data["plan"]),
+            measured_s=data.get("measured_s"),
+            predicted_us=data.get("predicted_us"),
+            created_at=float(data.get("created_at") or 0.0),
+            signature=dict(data.get("signature") or {}),
+        )
+
+
+class TuneDB:
+    """Content-addressed, machine-stamped storage of winning plans."""
+
+    def __init__(
+        self,
+        root: Optional[str] = None,
+        metrics=None,
+        code_version: Optional[str] = None,
+        signature: Optional[Dict[str, object]] = None,
+    ) -> None:
+        self.root = os.fspath(root) if root is not None else default_tunedb_dir()
+        self.metrics = metrics
+        self._code_version = code_version
+        #: Resolved lazily when None so tests can monkeypatch
+        #: ``machine_signature`` / ``fingerprint.CODE_VERSION``.
+        self._signature = signature
+        self._lock = threading.Lock()
+
+    @property
+    def code_version(self) -> str:
+        return self._code_version or fingerprint.CODE_VERSION
+
+    @property
+    def signature(self) -> Dict[str, object]:
+        if self._signature is None:
+            self._signature = machine_signature()
+        return self._signature
+
+    def _incr(self, name: str) -> None:
+        if self.metrics is not None:
+            self.metrics.incr(name)
+
+    # -- addressing --------------------------------------------------------
+
+    def digest_for(
+        self,
+        source: str,
+        config=None,
+        self_temp_policy: str = "always",
+        simplify: bool = False,
+    ) -> str:
+        return fingerprint.tune_digest(
+            source,
+            config,
+            self_temp_policy,
+            simplify,
+            code_version=self.code_version,
+        )
+
+    def _path(self, digest: str) -> str:
+        return os.path.join(self.root, digest[:2], digest + ".json")
+
+    # -- lookup ------------------------------------------------------------
+
+    def get(self, digest: str) -> Optional[TuneRecord]:
+        """The stored record, or None; invalid records are deleted.
+
+        A record is invalid when its schema, code version, digest stamp
+        or machine signature disagrees with this database — or when the
+        file is not parseable at all.
+        """
+        path = self._path(digest)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                envelope = json.load(handle)
+            if not isinstance(envelope, dict):
+                raise ValueError("tunedb envelope is not an object")
+            if (
+                envelope.get("schema") != TUNEDB_SCHEMA
+                or envelope.get("code_version") != self.code_version
+                or envelope.get("digest") != digest
+            ):
+                raise ValueError("tunedb stamp mismatch")
+            record = TuneRecord.from_dict(envelope["record"])
+            if record.signature != self.signature:
+                raise ValueError("machine signature mismatch")
+            self._incr("tune.db_hits")
+            return record
+        except FileNotFoundError:
+            self._incr("tune.db_misses")
+            return None
+        except Exception:
+            # Corrupt, stale-versioned, or tuned-on-another-machine:
+            # drop it and re-tune rather than replay a wrong plan.
+            self._incr("tune.db_invalid")
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            return None
+
+    def put(self, digest: str, record: TuneRecord) -> None:
+        path = self._path(digest)
+        envelope = {
+            "schema": TUNEDB_SCHEMA,
+            "code_version": self.code_version,
+            "digest": digest,
+            "record": record.to_dict(),
+        }
+        text = json.dumps(envelope, indent=2, sort_keys=True)
+        with self._lock:
+            try:
+                os.makedirs(os.path.dirname(path), exist_ok=True)
+                fd, tmp = tempfile.mkstemp(
+                    dir=os.path.dirname(path), suffix=".tmp"
+                )
+                try:
+                    with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                        handle.write(text + "\n")
+                    os.replace(tmp, path)
+                except BaseException:
+                    try:
+                        os.remove(tmp)
+                    except OSError:
+                        pass
+                    raise
+            except OSError:
+                # A read-only tree degrades to tune-every-process.
+                self._incr("tune.db_write_errors")
+                return
+        self._incr("tune.db_writes")
+
+    def record(
+        self,
+        source: str,
+        record: TuneRecord,
+        config=None,
+        self_temp_policy: str = "always",
+        simplify: bool = False,
+    ) -> str:
+        """Store ``record`` for a program; returns the digest used."""
+        digest = self.digest_for(source, config, self_temp_policy, simplify)
+        self.put(digest, record)
+        return digest
+
+    def invalidate(self, digest: str) -> None:
+        path = self._path(digest)
+        try:
+            os.remove(path)
+        except OSError:
+            pass
+
+    def clear(self) -> None:
+        for path, _size, _mtime in self.entries():
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+
+    # -- introspection -----------------------------------------------------
+
+    def entries(self) -> List[Tuple[str, int, float]]:
+        """All record files as ``(path, bytes, mtime)``."""
+        entries: List[Tuple[str, int, float]] = []
+        if not os.path.isdir(self.root):
+            return entries
+        for shard in sorted(os.listdir(self.root)):
+            shard_dir = os.path.join(self.root, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for name in sorted(os.listdir(shard_dir)):
+                if not name.endswith(".json"):
+                    continue
+                path = os.path.join(shard_dir, name)
+                try:
+                    stat = os.stat(path)
+                except OSError:
+                    continue
+                entries.append((path, stat.st_size, stat.st_mtime))
+        return entries
+
+    def stats(self) -> Dict[str, object]:
+        entries = self.entries()
+        return {
+            "root": self.root,
+            "code_version": self.code_version,
+            "signature": dict(self.signature),
+            "records": len(entries),
+            "bytes": sum(size for _p, size, _m in entries),
+        }
+
+
+def fresh_record(
+    plan: Plan,
+    measured_s: Optional[float],
+    predicted_us: Optional[float],
+    signature: Optional[Dict[str, object]] = None,
+) -> TuneRecord:
+    """A record stamped with the current time and machine signature."""
+    return TuneRecord(
+        plan=plan,
+        measured_s=measured_s,
+        predicted_us=predicted_us,
+        created_at=time.time(),
+        signature=signature if signature is not None else machine_signature(),
+    )

@@ -117,3 +117,79 @@ class TestErrors:
         path.write_text("program broken")
         assert main(["compile", str(path)]) == 1
         assert "error" in capsys.readouterr().err
+
+
+class TestArgumentValidation:
+    @pytest.mark.parametrize("value", ["0", "-2", "three"])
+    def test_bad_workers_rejected_at_parse_time(self, source_file, value):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", source_file, "--backend", "np-par",
+                  "--workers", value])
+        assert excinfo.value.code == 2  # argparse usage error
+
+    def test_bad_tile_shape_rejected_at_parse_time(self, source_file):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", source_file, "--backend", "np-par",
+                  "--tile-shape", "8xfoo"])
+        assert excinfo.value.code == 2
+
+    def test_workers_require_np_par(self, source_file):
+        with pytest.raises(SystemExit):
+            main(["run", source_file, "--backend", "codegen_np",
+                  "--workers", "2"])
+
+    def test_tile_shape_requires_np_par(self, source_file):
+        with pytest.raises(SystemExit):
+            main(["run", source_file, "--tile-shape", "8"])
+
+
+class TestTileShape:
+    def test_run_with_forced_tile_shape(self, source_file, capsys):
+        main(["run", source_file])
+        interp_out = capsys.readouterr().out
+        assert main(["run", source_file, "--backend", "np-par",
+                     "--workers", "2", "--tile-shape", "3x6"]) == 0
+        assert capsys.readouterr().out == interp_out
+
+    def test_env_tile_shape(self, source_file, capsys, monkeypatch):
+        from repro.parallel import engine
+
+        monkeypatch.setenv(engine.ENV_TILE_SHAPE, "2")
+        assert main(["run", source_file, "--backend", "np-par",
+                     "--workers", "1"]) == 0
+        assert "total = " in capsys.readouterr().out
+
+
+class TestTune:
+    def test_tune_prints_ranking_and_persists(
+        self, source_file, tmp_path, capsys
+    ):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["tune", source_file, "--budget-s", "5",
+                     "--top-k", "2", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "winner:" in out
+        assert "predicted" in out and "measured" in out
+        assert "<- winner" in out
+
+        # The second invocation must be a pure database hit.
+        assert main(["tune", source_file, "--budget-s", "5",
+                     "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "tunedb hit" in out
+
+    def test_serve_tune_applies_stored_plan(
+        self, source_file, tmp_path, capsys, monkeypatch
+    ):
+        cache_dir = str(tmp_path / "cache")
+        monkeypatch.setenv("REPRO_CACHE_DIR", cache_dir)
+        assert main(["tune", source_file, "--budget-s", "5",
+                     "--top-k", "2"]) == 0
+        winner_line = next(
+            line for line in capsys.readouterr().out.splitlines()
+            if line.startswith("winner:")
+        )
+        assert main(["serve", source_file, "--tune"]) == 0
+        out = capsys.readouterr().out
+        assert "plan=" in out and "(tuned)" in out
+        assert winner_line.split()[1] in out

@@ -344,3 +344,123 @@ def test_cli_run_check_reports_divergence(source_file, capsys):
     assert main(["run", source_file, "--backend", "interp", "--check"]) == 0
     out = capsys.readouterr().out
     assert "divergence = 0" in out
+
+
+# -- percentiles -------------------------------------------------------------
+
+
+def test_timer_percentiles_in_snapshot():
+    metrics = Metrics()
+    for ms in range(1, 101):  # 1ms .. 100ms
+        metrics.observe("t", ms / 1000.0)
+    timer = metrics.timer("t")
+    assert timer["p50_s"] == pytest.approx(0.050, abs=0.002)
+    assert timer["p95_s"] == pytest.approx(0.095, abs=0.002)
+    assert timer["p50_s"] <= timer["p95_s"] <= timer["max_s"]
+
+
+def test_timer_percentiles_survive_merge():
+    one, two = Metrics(), Metrics()
+    for ms in range(1, 51):
+        one.observe("t", ms / 1000.0)
+    for ms in range(51, 101):
+        two.observe("t", ms / 1000.0)
+    one.merge(two)
+    timer = one.timer("t")
+    assert timer["count"] == 100
+    assert timer["p50_s"] == pytest.approx(0.050, abs=0.003)
+    assert timer["p95_s"] == pytest.approx(0.095, abs=0.003)
+
+
+def test_timer_reservoir_is_bounded():
+    from repro.service.metrics import RESERVOIR_SIZE, TimerStat
+
+    stat = TimerStat()
+    for index in range(RESERVOIR_SIZE * 4):
+        stat.observe(float(index))
+    assert len(stat.samples) == RESERVOIR_SIZE
+    assert stat.count == RESERVOIR_SIZE * 4
+    # The reservoir is a uniform sample, so the p50 must land near the
+    # true median rather than near either end of the stream.
+    p50 = stat.percentile(0.50)
+    assert RESERVOIR_SIZE * 1 < p50 < RESERVOIR_SIZE * 3
+
+
+# -- tuned serving -----------------------------------------------------------
+
+
+def _store_plan(service, source, plan):
+    from repro.tune.tunedb import fresh_record
+
+    db = service.tunedb()
+    db.put(db.digest_for(source), fresh_record(plan, 0.001, 10.0))
+    return db
+
+
+def test_compile_applies_stored_tuned_plan(tmp_path, monkeypatch):
+    from repro.tune import Plan
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    service = Service(level="c2", backend="codegen_np", tune=True)
+    _store_plan(service, SOURCE, Plan("c2+f4", "np-par", workers=2,
+                                      tile_shape=(3,)))
+    compiled = service.compile(SOURCE)
+    assert compiled.level == "c2+f4"
+    assert compiled.backend == "np-par"
+    assert compiled.plan == {
+        "level": "c2+f4",
+        "backend": "np-par",
+        "workers": 2,
+        "tile_shape": (3,),
+        "tuned": True,
+    }
+    assert compiled.plan_id == "c2+f4/np-par/w2/t3"
+    assert service.metrics.counter("tune.plan_applied") == 1
+    # The tuned engine is pooled per (workers, tile shape), not the
+    # service-wide default engine.
+    assert compiled.engine is service.engine_for(2, (3,))
+    assert compiled.engine is not service.tile_engine
+    result = compiled.execute()
+    assert result.scalars["total"] == service.submit(
+        SOURCE, tune=False
+    ).scalars["total"]
+    assert service.metrics.counter("execute.tuned_requests") == 1
+    assert service.metrics.counter("plan.c2+f4/np-par/w2/t3") == 1
+
+
+def test_untuned_compile_records_default_plan(service):
+    compiled = service.compile(SOURCE)
+    assert compiled.plan["tuned"] is False
+    assert compiled.plan_id == "c2/codegen_np"
+    compiled.execute()
+    assert service.metrics.counter("plan.c2/codegen_np") == 1
+    assert service.metrics.counter("execute.tuned_requests") == 0
+
+
+def test_tune_miss_falls_back_to_defaults(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    service = Service(level="c2", backend="codegen_np", tune=True)
+    compiled = service.compile(SOURCE)
+    assert compiled.level == "c2"
+    assert compiled.backend == "codegen_np"
+    assert compiled.plan["tuned"] is False
+    assert service.metrics.counter("tune.plan_misses") == 1
+
+
+def test_per_call_tune_db_overrides_service_default(tmp_path):
+    from repro.tune import Plan, TuneDB
+
+    service = Service(level="c2", backend="codegen_np",
+                      cache_dir=str(tmp_path / "cache"))
+    db = TuneDB(root=str(tmp_path / "tunedb"))
+    db.put(db.digest_for(SOURCE),
+           __import__("repro.tune.tunedb", fromlist=["fresh_record"])
+           .fresh_record(Plan("f2", "codegen_py"), 0.001, 10.0))
+    assert service.compile(SOURCE).plan["tuned"] is False  # service default
+    tuned = service.compile(SOURCE, tune=db)
+    assert tuned.plan["tuned"] is True
+    assert tuned.level == "f2" and tuned.backend == "codegen_py"
+    assert (
+        tuned.execute().scalars["total"]
+        == service.compile(SOURCE).execute().scalars["total"]
+    )

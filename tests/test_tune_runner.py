@@ -1,0 +1,125 @@
+"""The measurement runner: warmup, repeats, guards, budget."""
+
+from repro.tune import Budget, Runner
+from repro.service import Metrics
+
+
+class FakeClock:
+    """A clock tests advance by hand; runs cost what the test decides."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def make_run(clock, costs):
+    """A runnable whose i-th invocation advances the clock by costs[i]
+    (the last cost repeats forever)."""
+    state = {"calls": 0}
+
+    def run():
+        index = min(state["calls"], len(costs) - 1)
+        clock.advance(costs[index])
+        state["calls"] += 1
+
+    return run, state
+
+
+class TestBudget:
+    def test_elapsed_and_remaining(self):
+        clock = FakeClock()
+        budget = Budget(10.0, clock=clock)
+        clock.advance(4.0)
+        assert budget.elapsed() == 4.0
+        assert budget.remaining() == 6.0
+        assert not budget.exhausted
+        clock.advance(6.0)
+        assert budget.exhausted
+
+    def test_unlimited(self):
+        clock = FakeClock()
+        budget = Budget(None, clock=clock)
+        clock.advance(1e9)
+        assert budget.remaining() == float("inf")
+        assert not budget.exhausted
+
+
+class TestRunner:
+    def test_median_of_repeats(self):
+        clock = FakeClock()
+        run, state = make_run(clock, [5.0, 1.9, 2.0, 2.1])  # first is warmup
+        runner = Runner(warmup=1, repeats=3, clock=clock)
+        measurement = runner.measure(run)
+        assert state["calls"] == 4
+        assert measurement.seconds == 2.0  # median of 1.9, 2.0, 2.1
+        assert measurement.repeats == 3
+        assert not measurement.aborted
+        assert runner.calls == 1
+
+    def test_warmup_is_discarded(self):
+        clock = FakeClock()
+        run, _state = make_run(clock, [100.0, 100.0, 1.0])
+        runner = Runner(warmup=2, repeats=1, clock=clock)
+        assert runner.measure(run).seconds == 1.0
+
+    def test_variance_guard_adds_repeats(self):
+        clock = FakeClock()
+        # Spread (10-1)/5.5 far exceeds 0.25: the guard re-measures up
+        # to max_extra_repeats more times.
+        run, state = make_run(clock, [1.0, 10.0, 10.0])
+        runner = Runner(warmup=0, repeats=2, max_spread=0.25,
+                        max_extra_repeats=2, clock=clock)
+        measurement = runner.measure(run)
+        assert state["calls"] == 4  # 2 repeats + 2 extras
+        assert measurement.repeats == 4
+
+    def test_quiet_candidate_takes_no_extras(self):
+        clock = FakeClock()
+        run, state = make_run(clock, [1.0])
+        runner = Runner(warmup=0, repeats=3, max_spread=0.25, clock=clock)
+        measurement = runner.measure(run)
+        assert state["calls"] == 3
+        assert measurement.spread == 0.0
+
+    def test_cutoff_abandons_after_first_repeat(self):
+        clock = FakeClock()
+        run, state = make_run(clock, [50.0])
+        runner = Runner(warmup=0, repeats=3, clock=clock)
+        measurement = runner.measure(run, cutoff_s=10.0)
+        assert state["calls"] == 1
+        assert measurement.aborted
+        assert measurement.seconds == 50.0
+
+    def test_exhausted_budget_skips_measurement_entirely(self):
+        clock = FakeClock()
+        budget = Budget(1.0, clock=clock)
+        clock.advance(2.0)
+        run, state = make_run(clock, [1.0])
+        runner = Runner(clock=clock)
+        assert runner.measure(run, budget) is None
+        assert state["calls"] == 0
+        assert runner.calls == 0
+
+    def test_budget_exhaustion_mid_run_still_yields_one_sample(self):
+        clock = FakeClock()
+        budget = Budget(1.0, clock=clock)
+        run, state = make_run(clock, [5.0])  # one run blows the budget
+        runner = Runner(warmup=1, repeats=3, clock=clock)
+        measurement = runner.measure(run, budget)
+        assert measurement is not None
+        assert measurement.repeats == 1  # warmup skipped further repeats
+        assert measurement.seconds == 5.0
+
+    def test_metrics_recorded(self):
+        clock = FakeClock()
+        metrics = Metrics()
+        run, _state = make_run(clock, [1.0])
+        runner = Runner(warmup=0, repeats=2, metrics=metrics, clock=clock)
+        runner.measure(run)
+        assert metrics.counter("tune.measurements") == 1
+        assert metrics.timer("tune.measure")["count"] == 1

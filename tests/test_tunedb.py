@@ -1,0 +1,209 @@
+"""The tuning database and the tune() loop around it."""
+
+import json
+import os
+
+import pytest
+
+from repro.service import Metrics
+from repro.tune import (
+    Plan,
+    Runner,
+    TuneDB,
+    TuneRecord,
+    default_plan,
+    machine_signature,
+    tune,
+)
+from repro.tune.tunedb import fresh_record
+
+SOURCE = """
+program tdb;
+config n : integer = 24;
+region R = [1..n, 1..n];
+var A, B, C : [R] float;
+var total : float;
+begin
+  [R] A := Index1 * 0.5 + Index2;
+  [R] B := A * 0.25 + 1.0;
+  [R] C := B * B - A;
+  total := +<< [R] C;
+end;
+"""
+
+PLAN = Plan("c2+f4", "np-par", workers=2, tile_shape=(8, 24))
+
+
+@pytest.fixture
+def db(tmp_path):
+    return TuneDB(root=str(tmp_path / "tunedb"), metrics=Metrics())
+
+
+def _digest(db):
+    return db.digest_for(SOURCE)
+
+
+class TestRoundTrip:
+    def test_put_then_get(self, db):
+        digest = _digest(db)
+        db.put(digest, fresh_record(PLAN, 0.012, 340.0))
+        record = db.get(digest)
+        assert record is not None
+        assert record.plan == PLAN
+        assert isinstance(record.plan.tile_shape, tuple)
+        assert record.measured_s == 0.012
+        assert record.predicted_us == 340.0
+        assert db.metrics.counter("tune.db_hits") == 1
+
+    def test_survives_a_fresh_db_instance(self, db):
+        digest = _digest(db)
+        db.put(digest, fresh_record(PLAN, 0.012, 340.0))
+        reopened = TuneDB(root=db.root)
+        assert reopened.get(digest).plan == PLAN
+
+    def test_miss_is_counted(self, db):
+        assert db.get(_digest(db)) is None
+        assert db.metrics.counter("tune.db_misses") == 1
+
+    def test_records_are_json(self, db):
+        digest = _digest(db)
+        db.put(digest, fresh_record(PLAN, 0.012, 340.0))
+        ((path, _size, _mtime),) = db.entries()
+        with open(path) as handle:
+            envelope = json.load(handle)  # parseable, not pickle
+        assert envelope["digest"] == digest
+
+    def test_stats_shape(self, db):
+        db.put(_digest(db), fresh_record(PLAN, 0.012, 340.0))
+        stats = db.stats()
+        assert stats["records"] == 1
+        assert stats["bytes"] > 0
+        assert stats["signature"] == machine_signature()
+
+
+class TestSelfInvalidation:
+    def _store(self, db):
+        digest = _digest(db)
+        db.put(digest, fresh_record(PLAN, 0.012, 340.0))
+        ((path, _size, _mtime),) = db.entries()
+        return digest, path
+
+    def test_corrupt_record_is_dropped_and_deleted(self, db):
+        digest, path = self._store(db)
+        with open(path, "w") as handle:
+            handle.write("{ not json")
+        assert db.get(digest) is None
+        assert not os.path.exists(path)
+        assert db.metrics.counter("tune.db_invalid") == 1
+
+    def test_schema_bump_invalidates(self, db):
+        digest, path = self._store(db)
+        with open(path) as handle:
+            envelope = json.load(handle)
+        envelope["schema"] = 999
+        with open(path, "w") as handle:
+            json.dump(envelope, handle)
+        assert db.get(digest) is None
+        assert not os.path.exists(path)
+
+    def test_machine_signature_mismatch_forces_retune(self, db):
+        digest, path = self._store(db)
+        other_box = dict(machine_signature(), cpu_count=999)
+        db.put(digest, fresh_record(PLAN, 0.012, 340.0, signature=other_box))
+        assert db.get(digest) is None  # tuned on another machine
+        assert db.metrics.counter("tune.db_invalid") == 1
+        assert not os.path.exists(path)
+
+    def test_code_version_mismatch_invalidates(self, db):
+        digest, _path = self._store(db)
+        stale = TuneDB(root=db.root, code_version="v-other")
+        # The digest itself folds in the code version, so the stale DB
+        # addresses a different record — and a hand-aliased read of the
+        # old digest fails the envelope stamp.
+        assert stale.digest_for(SOURCE) != digest
+        assert stale.get(digest) is None
+
+    def test_plan_with_bad_fields_invalidates(self, db):
+        digest, path = self._store(db)
+        with open(path) as handle:
+            envelope = json.load(handle)
+        envelope["record"]["plan"] = {"backend": "codegen_np"}  # no level
+        with open(path, "w") as handle:
+            json.dump(envelope, handle)
+        assert db.get(digest) is None
+
+
+class TestTuneLoop:
+    def test_tune_persists_a_winner(self, db):
+        result = tune(SOURCE, db=db, budget_s=10.0, top_k=2)
+        assert not result.from_db
+        assert db.get(result.digest).plan == result.winner
+        measured = [row for row in result.ranking if row.measurement]
+        assert measured, "at least the default plan must be measured"
+
+    def test_default_plan_is_always_measured(self, db):
+        result = tune(SOURCE, db=db, budget_s=10.0, top_k=1)
+        measured_plans = {
+            row.plan for row in result.ranking if row.measurement is not None
+        }
+        assert default_plan() in measured_plans
+
+    def test_second_tune_is_a_pure_db_hit(self, db):
+        first = tune(SOURCE, db=db, budget_s=10.0, top_k=2)
+        runner = Runner()
+        metrics = Metrics()
+        second = tune(SOURCE, db=db, runner=runner, metrics=metrics)
+        assert second.from_db
+        assert second.winner == first.winner
+        assert runner.calls == 0, "a tunedb hit must skip measurement"
+        assert metrics.counter("tune.measurements") == 0
+        assert metrics.timer("tune.compile") is None, (
+            "a tunedb hit must not even compile"
+        )
+
+    def test_force_retunes_past_a_stored_record(self, db):
+        tune(SOURCE, db=db, budget_s=10.0, top_k=2)
+        runner = Runner()
+        result = tune(SOURCE, db=db, runner=runner, force=True, top_k=2)
+        assert not result.from_db
+        assert runner.calls > 0
+
+    def test_different_config_tunes_separately(self, db):
+        a = tune(SOURCE, db=db, budget_s=5.0, top_k=1)
+        b = tune(SOURCE, config={"n": 12}, db=db, budget_s=5.0, top_k=1)
+        assert a.digest != b.digest
+
+    def test_zero_budget_still_stores_a_prior_ranked_winner(self, db):
+        clock_state = {"now": 0.0}
+
+        def clock():
+            clock_state["now"] += 100.0  # every look at the clock is "late"
+            return clock_state["now"]
+
+        result = tune(SOURCE, db=db, budget_s=0.0, clock=clock, top_k=2)
+        assert result.winner is not None
+        assert all(row.measurement is None for row in result.ranking)
+        assert db.get(result.digest) is not None
+
+    def test_render_table_marks_the_winner(self, db):
+        result = tune(SOURCE, db=db, budget_s=10.0, top_k=2)
+        table = result.render_table()
+        assert "<- winner" in table
+        assert result.winner.describe() in table
+
+
+class TestWriteDegradation:
+    def test_unwritable_root_degrades_to_miss(self, tmp_path):
+        root = tmp_path / "ro"
+        root.mkdir()
+        os.chmod(root, 0o555)
+        try:
+            metrics = Metrics()
+            db = TuneDB(root=str(root), metrics=metrics)
+            db.put(_digest(db), fresh_record(PLAN, 0.01, 1.0))
+            if os.geteuid() == 0:
+                pytest.skip("root ignores directory write bits")
+            assert metrics.counter("tune.db_write_errors") == 1
+            assert db.get(_digest(db)) is None
+        finally:
+            os.chmod(root, 0o755)
