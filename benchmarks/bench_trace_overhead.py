@@ -1,0 +1,148 @@
+"""Traced-off overhead: a disabled tracer must be unmeasurable.
+
+The observability layer's contract (``docs/OBSERVABILITY.md``) is that
+the traced-off hot path costs one attribute load and one branch: call
+sites check ``tracer.enabled`` *before* building attribute dicts and
+enter the shared ``NOOP_SPAN`` singleton, so nothing is allocated and
+nothing is recorded.  This benchmark pins the claim end to end on the
+serving layer's request path.
+
+Three fused pipelines, compiled once at ``c2+f4`` on the NumPy back
+end, each executed two ways:
+
+* **baseline** — a ``CompiledProgram`` with no tracer at all (the
+  pre-observability request path);
+* **disabled** — the same artifact with a present-but-disabled
+  ``Tracer`` attached (what every untraced service runs today).
+
+Measurements interleave the two modes within every round so drift
+(thermal, co-tenant) hits both equally; the reported figure is the
+ratio of per-mode medians.  Acceptance: <= 2% median slowdown on each
+pipeline.  Saves the table to ``results/trace_overhead.txt``.
+"""
+
+import statistics
+import time
+
+from repro.obs import Tracer
+from repro.service import Metrics, Service
+from repro.service.compiled import CompiledProgram
+
+N = 1200
+ROUNDS = 30
+REPS = 2
+
+#: Acceptance bound on the per-pipeline median slowdown.
+MAX_SLOWDOWN = 1.02
+
+CASES = [
+    (
+        "chain (8 stmts)",
+        """
+program chain;
+config n : integer = %d;
+region R = [1..n, 1..n];
+var A, B, C, D, E, F, G, H : [R] float;
+begin
+  [R] A := Index1 * 0.5 + Index2 * 0.25;
+  [R] B := A * 0.5 + 1.0;
+  [R] C := B * 0.75 - A;
+  [R] D := C * C + B;
+  [R] E := D * 0.25 + C;
+  [R] F := E * E - D;
+  [R] G := F * 0.5 + E;
+  [R] H := G * F + A;
+end;
+"""
+        % N,
+    ),
+    (
+        "blend (6 stmts)",
+        """
+program blend;
+config n : integer = %d;
+region R = [1..n, 1..n];
+var U, V, W, P, Q, T : [R] float;
+begin
+  [R] U := Index1 * 0.125 + Index2;
+  [R] V := Index2 * 0.5 - Index1 * 0.25;
+  [R] W := U * V + 0.5;
+  [R] P := W * 0.75 + U;
+  [R] Q := P * W - V;
+  [R] T := Q * 0.5 + P * 0.25 + W * 0.125;
+end;
+"""
+        % N,
+    ),
+    (
+        "interior (6 stmts)",
+        """
+program interior;
+config n : integer = %d;
+region R = [1..n, 1..n];
+region I = [2..n-1, 2..n-1];
+var A, B, C, D, E, F : [R] float;
+begin
+  [R] A := Index1 + Index2 * 0.5;
+  [I] B := A * 0.25 + 1.0;
+  [I] C := B * B - A;
+  [I] D := C + B * 0.5;
+  [I] E := D * C - B;
+  [I] F := E * 0.5 + D;
+end;
+"""
+        % N,
+    ),
+]
+
+
+def _timed(program):
+    start = time.perf_counter()
+    program.execute()
+    return time.perf_counter() - start
+
+
+def test_disabled_tracing_overhead(save_result):
+    service = Service(level="c2+f4", backend="codegen_np", persistent=False)
+    lines = [
+        "Traced-off overhead at c2+f4/codegen_np, n=%d" % N,
+        "(no tracer vs a present-but-disabled Tracer; interleaved, "
+        "median of %d rounds x %d reps)" % (ROUNDS, REPS),
+        "",
+        "%-20s %14s %14s %10s"
+        % ("pipeline", "no tracer", "disabled", "slowdown"),
+    ]
+    slowdowns = {}
+    for label, source in CASES:
+        compiled = service.compile(source)
+        baseline = CompiledProgram(compiled._payload, metrics=Metrics())
+        disabled = CompiledProgram(
+            compiled._payload,
+            metrics=Metrics(),
+            tracer=Tracer(enabled=False),
+        )
+        # Warm both code objects outside the timed region.
+        baseline.execute()
+        disabled.execute()
+        base_times, off_times = [], []
+        for _round in range(ROUNDS):
+            for _rep in range(REPS):
+                base_times.append(_timed(baseline))
+                off_times.append(_timed(disabled))
+        base_median = statistics.median(base_times)
+        off_median = statistics.median(off_times)
+        slowdowns[label] = off_median / base_median
+        lines.append(
+            "%-20s %12.6fs %12.6fs %9.4fx"
+            % (label, base_median, off_median, slowdowns[label])
+        )
+    worst = max(slowdowns.values())
+    lines.append("")
+    lines.append(
+        "worst median slowdown: %.4fx (bound: %.2fx)" % (worst, MAX_SLOWDOWN)
+    )
+    save_result("trace_overhead", "\n".join(lines))
+    assert worst <= MAX_SLOWDOWN, (
+        "disabled tracing must be unmeasurable (<= %.0f%% median slowdown); "
+        "got %r" % ((MAX_SLOWDOWN - 1.0) * 100.0, slowdowns)
+    )

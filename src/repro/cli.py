@@ -26,8 +26,15 @@ Commands
     wall-clock budget, print the predicted-vs-measured ranking table, and
     persist the winner in the tuning database for ``serve --tune``.
 
+``trace FILE``
+    Compile and execute once with structured tracing on, then print the
+    span tree (compile passes, cache probe, execution, per-tile sweeps);
+    ``--out trace.json`` writes Chrome trace-event JSON loadable in
+    Perfetto (https://ui.perfetto.dev).
+
 ``stats``
     Inspect the on-disk artifact cache: entries, sizes, levels, backends.
+    ``--format=json`` (default) or ``--format=prom`` (Prometheus text).
 
 ``figures NAME``
     Regenerate a paper artifact (fig6, fig7, fig8) on the spot.
@@ -231,6 +238,31 @@ def _build_parser() -> argparse.ArgumentParser:
         "--stats-json", metavar="PATH",
         help="also write the stats JSON to PATH",
     )
+    serve_parser.add_argument(
+        "--trace-dir", metavar="DIR",
+        help="enable structured tracing and write a Chrome trace-event "
+        "JSON (Perfetto-loadable) per serve run into DIR; $REPRO_TRACE "
+        "also enables tracing (tree to stderr, or a .json path)",
+    )
+
+    trace_parser = sub.add_parser(
+        "trace", help="compile + execute once with tracing, print span tree"
+    )
+    common(trace_parser)
+    _add_backend_argument(trace_parser, default="codegen_np")
+    trace_parser.add_argument(
+        "--workers", type=_positive_int, default=None, metavar="N",
+        help="tile-engine worker threads (np-par backend only)",
+    )
+    trace_parser.add_argument(
+        "--tile-shape", type=_tile_shape, default=None, metavar="N|NxM",
+        help="force the tile shape for np-par sweeps",
+    )
+    trace_parser.add_argument(
+        "--out", metavar="PATH",
+        help="also write Chrome trace-event JSON to PATH "
+        "(open in https://ui.perfetto.dev)",
+    )
 
     tune_parser = sub.add_parser(
         "tune", help="search serving plans, persist the winner"
@@ -274,6 +306,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--cache-dir", default=None,
         help="artifact cache directory (default: $REPRO_CACHE_DIR or "
         ".repro-cache)",
+    )
+    stats_parser.add_argument(
+        "--format", default="json", metavar="{json,prom}",
+        help="output format: json (machine-readable stats + artifact "
+        "inventory) or prom (Prometheus text exposition)",
     )
 
     figures_parser = sub.add_parser("figures", help="regenerate an artifact")
@@ -461,6 +498,8 @@ def cmd_serve(args) -> int:
         tune=args.tune,
         self_temp_policy=args.self_temp_policy,
         simplify=args.simplify,
+        # --trace-dir forces tracing on; otherwise $REPRO_TRACE decides.
+        trace=True if args.trace_dir else None,
     )
     base_config = _parse_config(args.config)
     requests = _load_requests(args.requests)
@@ -491,7 +530,38 @@ def cmd_serve(args) -> int:
         if args.stats_json:
             with open(args.stats_json, "w") as handle:
                 handle.write(text + "\n")
+    _emit_serve_trace(service, compiled, args.trace_dir)
     return 0
+
+
+def _emit_serve_trace(service, compiled, trace_dir: Optional[str]) -> None:
+    """Export the serve run's spans per --trace-dir / $REPRO_TRACE.
+
+    ``--trace-dir DIR`` writes one Chrome trace per run, named by the
+    compiled digest.  Without it, a truthy ``$REPRO_TRACE`` prints the
+    span tree to stderr — unless its value names a ``.json`` path, which
+    gets the Chrome trace instead.
+    """
+    tracer = service.tracer
+    if not tracer.enabled:
+        return
+    import os
+
+    from repro.obs import env_trace_value, render_tree, write_chrome_trace
+
+    spans = tracer.spans()
+    if trace_dir:
+        os.makedirs(trace_dir, exist_ok=True)
+        path = os.path.join(trace_dir, "serve-%s.json" % compiled.digest[:12])
+        write_chrome_trace(spans, path)
+        print("trace: %d spans -> %s" % (len(spans), path))
+        return
+    value = env_trace_value()
+    if value.endswith(".json") or os.sep in value:
+        write_chrome_trace(spans, value)
+        print("trace: %d spans -> %s" % (len(spans), value))
+    else:
+        print(render_tree(spans), file=sys.stderr)
 
 
 def cmd_tune(args) -> int:
@@ -528,6 +598,44 @@ def cmd_tune(args) -> int:
     return 0
 
 
+def cmd_trace(args) -> int:
+    """Compile and execute once with tracing, print/export the spans."""
+    from repro.obs import render_tree, write_chrome_trace
+    from repro.service import Service
+
+    source = _load(args)
+    level = _level(args.level)
+    # persistent=False: a trace should show the full pipeline, not a
+    # disk-cache replay from an earlier invocation.
+    service = Service(
+        level=level,
+        backend=args.backend,
+        persistent=False,
+        workers=args.workers,
+        tile_shape=args.tile_shape,
+        self_temp_policy=args.self_temp_policy,
+        simplify=args.simplify,
+        trace=True,
+    )
+    compiled = service.compile(source, level, _parse_config(args.config))
+    compiled.execute()
+    spans = service.tracer.spans()
+    print(render_tree(spans))
+    if args.out:
+        write_chrome_trace(spans, args.out)
+        print()
+        print(
+            "trace: %d spans -> %s (open in https://ui.perfetto.dev)"
+            % (len(spans), args.out)
+        )
+    return 0
+
+
+#: Formats ``repro stats`` can emit; unknown values are a usage error
+#: with a nonzero exit (through the ReproError path).
+STATS_FORMATS = ("json", "prom")
+
+
 def cmd_stats(args) -> int:
     import json
     import pickle
@@ -535,7 +643,17 @@ def cmd_stats(args) -> int:
 
     from repro.service import ArtifactCache
 
+    if args.format not in STATS_FORMATS:
+        raise ReproError(
+            "unknown stats format %r (choose from %s)"
+            % (args.format, ", ".join(STATS_FORMATS))
+        )
     cache = ArtifactCache(root=args.cache_dir)
+    if args.format == "prom":
+        from repro.obs import render_prometheus
+
+        print(render_prometheus(cache_stats=cache.stats()), end="")
+        return 0
     artifacts = []
     now = time.time()
     for path, size, mtime in cache.disk_entries():
@@ -591,6 +709,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "estimate": cmd_estimate,
         "serve": cmd_serve,
         "tune": cmd_tune,
+        "trace": cmd_trace,
         "stats": cmd_stats,
         "figures": cmd_figures,
     }[args.command]

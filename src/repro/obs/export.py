@@ -1,0 +1,115 @@
+"""Span exporters: Chrome trace-event JSON and human-readable trees.
+
+``chrome_trace`` renders completed spans in the Trace Event Format
+(``{"traceEvents": [...]}``), the JSON schema `Perfetto
+<https://ui.perfetto.dev>`_ and ``chrome://tracing`` load directly.
+Every span becomes one complete ("ph": "X") event carrying its
+microsecond ``ts``/``dur``, the process id, the recording thread id
+(so pool workers get their own timeline rows) and its attributes as
+``args``; thread-name metadata events label the rows.
+
+``render_tree`` prints the same spans as an indented tree — the
+``repro trace`` default — reconstructing parent/child structure from
+span ids, which works across threads because cross-thread spans carry
+their submitting span's id as ``parent_id``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, Sequence
+
+from repro.obs.tracer import Span
+
+
+def chrome_trace(spans: Sequence[Span], pid: Optional[int] = None) -> Dict:
+    """Spans as a Trace Event Format document (JSON-serializable dict)."""
+    if pid is None:
+        pid = os.getpid()
+    events: List[Dict] = []
+    seen_threads: Dict[int, str] = {}
+    for span in spans:
+        if span.thread_id not in seen_threads:
+            seen_threads[span.thread_id] = span.thread_name
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": pid,
+                    "tid": span.thread_id,
+                    "args": {"name": span.thread_name},
+                }
+            )
+        events.append(
+            {
+                "ph": "X",
+                "name": span.name,
+                "cat": span.name.split(".", 1)[0],
+                "ts": span.start_us,
+                "dur": span.duration_us,
+                "pid": pid,
+                "tid": span.thread_id,
+                "args": dict(span.attrs),
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    spans: Sequence[Span], path: str, pid: Optional[int] = None
+) -> None:
+    """Write ``chrome_trace(spans)`` to ``path`` as JSON."""
+    with open(path, "w") as handle:
+        json.dump(chrome_trace(spans, pid=pid), handle, indent=1, default=str)
+        handle.write("\n")
+
+
+def _format_attrs(attrs: Dict[str, object]) -> str:
+    if not attrs:
+        return ""
+    parts = []
+    for key in sorted(attrs):
+        value = attrs[key]
+        if key == "digest" and isinstance(value, str):
+            value = value[:12]
+        parts.append("%s=%s" % (key, value))
+    return "  [%s]" % " ".join(parts)
+
+
+def render_tree(spans: Sequence[Span], unit: str = "ms") -> str:
+    """Spans as an indented tree, one line per span.
+
+    Children are ordered by start time; spans whose parent was evicted
+    from the ring buffer (or never recorded) render as roots.  ``unit``
+    is ``"ms"`` or ``"us"``.
+    """
+    scale, suffix = (1000.0, "ms") if unit == "ms" else (1.0, "us")
+    by_id = {span.span_id: span for span in spans}
+    children: Dict[Optional[int], List[Span]] = {}
+    for span in spans:
+        parent_id = span.parent_id if span.parent_id in by_id else None
+        children.setdefault(parent_id, []).append(span)
+    for group in children.values():
+        group.sort(key=lambda s: (s.start_us, s.span_id))
+
+    lines: List[str] = []
+
+    def walk(span: Span, depth: int) -> None:
+        lines.append(
+            "%s%-*s %10.3f %s%s"
+            % (
+                "  " * depth,
+                max(28 - 2 * depth, 1),
+                span.name,
+                span.duration_us / scale,
+                suffix,
+                _format_attrs(span.attrs),
+            )
+        )
+        for child in children.get(span.span_id, []):
+            walk(child, depth + 1)
+
+    for root in children.get(None, []):
+        walk(root, 0)
+    return "\n".join(lines)

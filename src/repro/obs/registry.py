@@ -1,0 +1,246 @@
+"""The single source of truth for observability names.
+
+Every span, counter and timer the stack emits is declared here once,
+with its attributes and meaning.  ``docs/OBSERVABILITY.md`` embeds the
+markdown this module generates (between ``BEGIN/END generated``
+markers), and a test regenerates the tables and diffs them against the
+docs — so the reference cannot drift from the code, and a span name
+used in code but missing here fails the integration test.
+
+Regenerate the doc tables with::
+
+    PYTHONPATH=src python -m repro.obs.registry
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Tuple
+
+
+class SpanDef(NamedTuple):
+    name: str
+    attrs: Tuple[str, ...]
+    emitted_by: str
+    description: str
+
+
+class CounterDef(NamedTuple):
+    name: str
+    description: str
+
+
+class TimerDef(NamedTuple):
+    name: str
+    description: str
+
+
+#: Every span name the stack can record.  A trailing ``*`` marks a
+#: dynamic family (the prefix is fixed, the suffix varies per instance).
+SPANS: List[SpanDef] = [
+    SpanDef(
+        "compile",
+        ("digest", "level", "backend", "cache_hit"),
+        "Service.compile",
+        "One compile request end to end: digest probe, cache lookup, and "
+        "(on a miss) the full pipeline.  cache_hit records the outcome.",
+    ),
+    SpanDef(
+        "cache.lookup",
+        ("digest", "hit"),
+        "Service.compile",
+        "The artifact-cache probe (memory tier, then disk tier).",
+    ),
+    SpanDef(
+        "compile.normalize",
+        (),
+        "Service._build",
+        "Parsing, semantic checking and normalization to array normal form.",
+    ),
+    SpanDef(
+        "compile.deps",
+        (),
+        "fusion.pipeline.plan_block",
+        "ASDG construction (UDV dependence analysis); once per basic block.",
+    ),
+    SpanDef(
+        "compile.fusion",
+        (),
+        "fusion.pipeline.plan_block",
+        "The level's fusion and contraction passes; once per basic block.",
+    ),
+    SpanDef(
+        "compile.scalarize",
+        (),
+        "Service._build",
+        "Loop-nest construction and contraction rewrites.",
+    ),
+    SpanDef(
+        "compile.codegen",
+        (),
+        "Service._build",
+        "Rendering backend source (Python / NumPy / tile-parallel NumPy).",
+    ),
+    SpanDef(
+        "execute",
+        ("digest", "backend", "plan"),
+        "CompiledProgram.execute",
+        "One request execution on the artifact's backend.  plan is the "
+        "serving plan id (level/backend/workers/tile shape).",
+    ),
+    SpanDef(
+        "par.sweep",
+        ("cluster", "tiles", "workers"),
+        "TileEngine.sweep",
+        "One barrier-delimited tile sweep of a fusible cluster.  cluster "
+        "is the generated kernel's name (stable within one artifact).",
+    ),
+    SpanDef(
+        "par.tile",
+        ("tile",),
+        "TileEngine.sweep",
+        "One tile of a sweep; recorded on the worker thread that ran it "
+        "but parented to the submitting sweep span, so Perfetto shows "
+        "per-worker timelines under one sweep.",
+    ),
+    SpanDef(
+        "tune.measure",
+        ("repeats", "aborted"),
+        "tune.runner.Runner.measure",
+        "Measuring one candidate plan: warmup, timed repeats, variance "
+        "guard.",
+    ),
+]
+
+#: Every counter name (``Metrics.incr``).  ``*`` suffixes are dynamic.
+COUNTERS: List[CounterDef] = [
+    CounterDef("cache.hits", "Service-level artifact-cache hits (any tier)."),
+    CounterDef("cache.misses", "Service-level misses: the pipeline ran."),
+    CounterDef("cache.memory_hits", "Hits served by the in-memory LRU tier."),
+    CounterDef("cache.disk_hits", "Hits served by the on-disk store."),
+    CounterDef("cache.memory_evictions", "LRU evictions from the memory tier."),
+    CounterDef("cache.disk_evictions", "Size-bound evictions from disk."),
+    CounterDef(
+        "cache.invalid_artifacts",
+        "On-disk artifacts dropped for stamp mismatch or corruption.",
+    ),
+    CounterDef("cache.write_errors", "Failed disk writes (degraded to memory)."),
+    CounterDef("service.compiles", "Cold compiles (misses that ran the pipeline)."),
+    CounterDef("service.batches", "submit_many invocations."),
+    CounterDef("execute.requests", "Requests executed by CompiledProgram."),
+    CounterDef(
+        "execute.tuned_requests", "Requests that ran under a tuned plan."
+    ),
+    CounterDef(
+        "plan.*",
+        "Requests per serving plan id, e.g. plan.c2/np-par/w4/t32x1600.",
+    ),
+    CounterDef("par.sweeps", "Tile sweeps executed by the tile engine."),
+    CounterDef("par.tiles", "Tiles executed across all sweeps."),
+    CounterDef("par.serial_nests", "Nests that took the serial fallback."),
+    CounterDef(
+        "par.snapshots", "Read snapshots taken for self-hazard statements."
+    ),
+    CounterDef("tune.measurements", "Candidate measurements taken."),
+    CounterDef("tune.extra_repeats", "Variance-guard re-measurements."),
+    CounterDef("tune.candidates", "Candidate plans ranked by the prior."),
+    CounterDef("tune.plan_applied", "Serves that applied a stored tuned plan."),
+    CounterDef("tune.plan_misses", "Tuned serves with no stored plan."),
+    CounterDef("tune.db_hits", "Tuning-database record hits."),
+    CounterDef("tune.db_misses", "Tuning-database record misses."),
+    CounterDef(
+        "tune.db_invalid", "Tuning records dropped (stamp/signature mismatch)."
+    ),
+    CounterDef("tune.db_writes", "Tuning records persisted."),
+    CounterDef("tune.db_write_errors", "Failed tuning-record writes."),
+]
+
+#: Every timer name (``Metrics.observe`` / ``Metrics.time``).  Timers
+#: carry count/total/min/max, reservoir percentiles (p50/p95) and
+#: cumulative histogram buckets (see ``repro.service.metrics``).
+TIMERS: List[TimerDef] = [
+    TimerDef("compile.total", "The whole pipeline, per cold compile."),
+    TimerDef("compile.normalize", "Parse + check + normalize."),
+    TimerDef("compile.deps", "ASDG construction (summed over blocks)."),
+    TimerDef("compile.fusion", "Fusion/contraction passes (summed over blocks)."),
+    TimerDef("compile.scalarize", "Loop-nest construction."),
+    TimerDef("compile.codegen", "Backend source rendering."),
+    TimerDef(
+        "execute.*",
+        "Per-backend execution time, e.g. execute.codegen_np, "
+        "execute.np-par.",
+    ),
+    TimerDef("tune.total", "One whole tune() call."),
+    TimerDef("tune.compile", "Per-level compilation inside tune()."),
+    TimerDef("tune.measure", "One candidate measurement (incl. warmup)."),
+]
+
+
+def _table(header: Tuple[str, ...], rows: List[Tuple[str, ...]]) -> str:
+    lines = [
+        "| " + " | ".join(header) + " |",
+        "|" + "|".join("---" for _ in header) + "|",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)
+
+
+def spans_reference_markdown() -> str:
+    """The span reference table embedded in docs/OBSERVABILITY.md."""
+    return _table(
+        ("span", "attributes", "emitted by", "meaning"),
+        [
+            (
+                "`%s`" % span.name,
+                ", ".join("`%s`" % attr for attr in span.attrs) or "—",
+                "`%s`" % span.emitted_by,
+                span.description,
+            )
+            for span in SPANS
+        ],
+    )
+
+
+def metrics_reference_markdown() -> str:
+    """The counter + timer reference embedded in docs/OBSERVABILITY.md."""
+    counters = _table(
+        ("counter", "meaning"),
+        [("`%s`" % c.name, c.description) for c in COUNTERS],
+    )
+    timers = _table(
+        ("timer", "meaning"),
+        [("`%s`" % t.name, t.description) for t in TIMERS],
+    )
+    return "### Counters\n\n%s\n\n### Timers\n\n%s" % (counters, timers)
+
+
+def known_span_names() -> List[str]:
+    return [span.name for span in SPANS]
+
+
+def is_known_counter(name: str) -> bool:
+    """Whether a recorded counter name is declared (families by prefix)."""
+    for counter in COUNTERS:
+        if counter.name.endswith("*"):
+            if name.startswith(counter.name[:-1]):
+                return True
+        elif name == counter.name:
+            return True
+    return False
+
+
+def is_known_timer(name: str) -> bool:
+    for timer in TIMERS:
+        if timer.name.endswith("*"):
+            if name.startswith(timer.name[:-1]):
+                return True
+        elif name == timer.name:
+            return True
+    return False
+
+
+if __name__ == "__main__":
+    print("## Span reference\n")
+    print(spans_reference_markdown())
+    print("\n## Metrics reference\n")
+    print(metrics_reference_markdown())

@@ -91,6 +91,7 @@ class TileEngine:
         workers: Optional[int] = None,
         tile_shape: TileShape = None,
         metrics=None,
+        tracer=None,
     ) -> None:
         if workers is None:
             workers = default_workers()
@@ -103,6 +104,9 @@ class TileEngine:
             else tile_shape
         )
         self.metrics = metrics
+        #: Optional :class:`repro.obs.Tracer`.  The untraced sweep path
+        #: pays exactly one ``is not None and .enabled`` branch.
+        self.tracer = tracer
         self.sweeps = 0
         self.tiles_executed = 0
         self.serial_nests = 0
@@ -124,6 +128,10 @@ class TileEngine:
             self.metrics.incr("par.tiles", len(tiles))
         if not tiles:
             return
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            self._traced_sweep(tracer, kernel, tiles)
+            return
         if self.workers == 1 or len(tiles) == 1:
             for tile in tiles:
                 kernel(*[bound for pair in tile for bound in pair])
@@ -135,6 +143,37 @@ class TileEngine:
         ]
         for future in futures:
             future.result()
+
+    def _traced_sweep(self, tracer, kernel, tiles) -> None:
+        """The sweep with a ``par.sweep`` span and one ``par.tile`` per
+        tile.  Pool tiles run on worker threads but attach to the sweep
+        span via an explicit parent handle, so the trace keeps both the
+        logical nesting and the per-worker thread ids."""
+        with tracer.span(
+            "par.sweep",
+            cluster=kernel.__name__,
+            tiles=len(tiles),
+            workers=self.workers,
+        ) as sweep_span:
+            if self.workers == 1 or len(tiles) == 1:
+                for index, tile in enumerate(tiles):
+                    with tracer.span("par.tile", tile=index):
+                        kernel(*[bound for pair in tile for bound in pair])
+                return
+            pool = self._executor()
+            futures = [
+                pool.submit(
+                    self._traced_tile, tracer, sweep_span, kernel, index, tile
+                )
+                for index, tile in enumerate(tiles)
+            ]
+            for future in futures:
+                future.result()
+
+    @staticmethod
+    def _traced_tile(tracer, parent, kernel, index, tile) -> None:
+        with tracer.span("par.tile", parent=parent, tile=index):
+            kernel(*[bound for pair in tile for bound in pair])
 
     def note_serial(self) -> None:
         """Record one serial-fallback nest execution."""

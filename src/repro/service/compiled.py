@@ -20,6 +20,7 @@ import threading
 from typing import Callable, Dict, Mapping, Optional, Tuple
 
 from repro.exec import ExecutionResult, get_backend
+from repro.obs.tracer import NOOP_SPAN
 from repro.scalarize.loopnest import ScalarProgram
 from repro.service.metrics import Metrics
 from repro.util.errors import ReproError
@@ -64,9 +65,13 @@ class CompiledProgram:
         from_cache: bool = False,
         engine=None,
         plan: Optional[Dict[str, object]] = None,
+        tracer=None,
     ) -> None:
         self._payload = payload
         self.metrics = metrics or Metrics()
+        #: Optional :class:`repro.obs.Tracer`; every ``execute`` records
+        #: an ``execute`` span when it is present and enabled.
+        self._tracer = tracer
         #: Whether this instance was served from the artifact cache.
         self.from_cache = from_cache
         #: Tile engine handed to ``np-par`` executions (None: the
@@ -162,7 +167,18 @@ class CompiledProgram:
                 "routed to the artifact for that binding"
                 % (sorted(config), self.config)
             )
-        with self.metrics.time("execute.%s" % backend_name):
+        tracer = self._tracer
+        span_cm = (
+            tracer.span(
+                "execute",
+                digest=self.digest,
+                backend=backend_name,
+                plan=self.plan_id,
+            )
+            if tracer is not None and tracer.enabled
+            else NOOP_SPAN
+        )
+        with span_cm, self.metrics.time("execute.%s" % backend_name):
             if backend_name in _RENDERERS:
                 runner = self._runner(backend_name)
                 if backend_name == "np-par":

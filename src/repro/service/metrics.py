@@ -28,17 +28,24 @@ from typing import Dict, Iterator, List, Optional
 #: distribution within a few percent while costing 2 KB per timer.
 RESERVOIR_SIZE = 256
 
+#: Histogram bucket upper bounds (seconds) every timer accumulates into,
+#: exported as cumulative Prometheus ``le`` buckets (plus ``+Inf``).
+#: Log-spaced from 100 us to 10 s — compile passes sit in the low
+#: buckets, executions and tuner measurements in the upper ones.
+HISTOGRAM_BUCKETS_S = (0.0001, 0.001, 0.01, 0.1, 1.0, 10.0)
+
 
 class TimerStat:
     """Aggregate of one named timer: count / total / min / max seconds,
-    plus a bounded reservoir for tail percentiles (p50/p95).
+    a bounded reservoir for tail percentiles (p50/p95), and fixed
+    histogram buckets for Prometheus exposition.
 
     The reservoir holds a uniform sample of all observations (classic
     reservoir sampling with a fixed-seed generator, so snapshots are
     reproducible given the same observation sequence); percentiles over
     it approximate the true distribution without unbounded memory."""
 
-    __slots__ = ("count", "total", "min", "max", "samples", "_rng")
+    __slots__ = ("count", "total", "min", "max", "samples", "buckets", "_rng")
 
     def __init__(self) -> None:
         self.count = 0
@@ -46,6 +53,9 @@ class TimerStat:
         self.min = float("inf")
         self.max = 0.0
         self.samples: List[float] = []
+        #: Non-cumulative per-bucket counts; the last slot is overflow
+        #: (observations above every bound in HISTOGRAM_BUCKETS_S).
+        self.buckets: List[int] = [0] * (len(HISTOGRAM_BUCKETS_S) + 1)
         self._rng = random.Random(0x5EED)
 
     def observe(self, seconds: float) -> None:
@@ -53,6 +63,12 @@ class TimerStat:
         self.total += seconds
         self.min = min(self.min, seconds)
         self.max = max(self.max, seconds)
+        for index, bound in enumerate(HISTOGRAM_BUCKETS_S):
+            if seconds <= bound:
+                self.buckets[index] += 1
+                break
+        else:
+            self.buckets[-1] += 1
         if len(self.samples) < RESERVOIR_SIZE:
             self.samples.append(seconds)
         else:
@@ -65,10 +81,23 @@ class TimerStat:
         self.total += other.total
         self.min = min(self.min, other.min)
         self.max = max(self.max, other.max)
+        self.buckets = [
+            mine + theirs for mine, theirs in zip(self.buckets, other.buckets)
+        ]
         combined = self.samples + other.samples
         if len(combined) > RESERVOIR_SIZE:
             combined = self._rng.sample(combined, RESERVOIR_SIZE)
         self.samples = combined
+
+    def bucket_counts(self) -> Dict[str, int]:
+        """Cumulative counts keyed by Prometheus ``le`` bound strings."""
+        cumulative: Dict[str, int] = {}
+        running = 0
+        for bound, count in zip(HISTOGRAM_BUCKETS_S, self.buckets):
+            running += count
+            cumulative["%g" % bound] = running
+        cumulative["+Inf"] = running + self.buckets[-1]
+        return cumulative
 
     def percentile(self, q: float) -> float:
         """The ``q``-quantile (0..1) over the sample reservoir."""
@@ -87,6 +116,7 @@ class TimerStat:
             "max_s": self.max,
             "p50_s": self.percentile(0.50),
             "p95_s": self.percentile(0.95),
+            "buckets": self.bucket_counts(),
         }
 
 

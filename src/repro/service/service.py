@@ -25,6 +25,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Union
 from repro.exec import ExecutionResult, get_backend
 from repro.fusion import C2P, LEVELS_BY_NAME, Level, plan_program
 from repro.ir import normalize_source
+from repro.obs.tracer import NOOP_SPAN, TracedTimers, resolve_tracer
 from repro.scalarize import render_numpy, render_python, scalarize
 from repro.service import fingerprint
 from repro.service.cache import ArtifactCache
@@ -74,10 +75,17 @@ class Service:
         self_temp_policy: str = "always",
         simplify: bool = False,
         tune: object = False,
+        trace: object = None,
     ) -> None:
         self.level = _resolve_level(level, "c2")
         self.backend = get_backend(backend).name
         self.metrics = metrics or Metrics()
+        #: Structured tracing (``repro.obs``): ``trace`` may be a
+        #: :class:`repro.obs.Tracer`, True/False, or None to consult
+        #: ``$REPRO_TRACE``.  The tracer always exists; every traced
+        #: section branches on ``tracer.enabled`` first, so a disabled
+        #: tracer costs one check and no allocation per section.
+        self.tracer = resolve_tracer(trace)
         self.cache = cache or ArtifactCache(
             root=cache_dir, persistent=persistent, metrics=self.metrics
         )
@@ -96,7 +104,10 @@ class Service:
         from repro.parallel.engine import TileEngine
 
         self.tile_engine = TileEngine(
-            workers=workers, tile_shape=tile_shape, metrics=self.metrics
+            workers=workers,
+            tile_shape=tile_shape,
+            metrics=self.metrics,
+            tracer=self.tracer,
         )
         #: Engines for tuned plans that force a specific worker count /
         #: tile shape, keyed by (workers, tile_shape) so every artifact
@@ -185,6 +196,7 @@ class Service:
                     workers=workers if workers is not None else self.workers,
                     tile_shape=tile_shape,
                     metrics=self.metrics,
+                    tracer=self.tracer,
                 )
             return engine
 
@@ -219,33 +231,56 @@ class Service:
             "tuned": tuned is not None,
         }
         digest = self.digest_for(source, level_obj, config, backend_name)
-        payload = self.cache.get(digest)
-        if payload is not None:
-            self.metrics.incr("cache.hits")
-            return self._wrap(payload, from_cache=True, plan=plan)
+        tracer = self.tracer
+        compile_cm = (
+            tracer.span(
+                "compile",
+                digest=digest,
+                level=level_obj.name,
+                backend=backend_name,
+            )
+            if tracer.enabled
+            else NOOP_SPAN
+        )
+        with compile_cm as compile_span:
+            lookup_cm = (
+                tracer.span("cache.lookup", digest=digest)
+                if tracer.enabled
+                else NOOP_SPAN
+            )
+            with lookup_cm as lookup_span:
+                payload = self.cache.get(digest)
+                lookup_span.set("hit", payload is not None)
+            if payload is not None:
+                self.metrics.incr("cache.hits")
+                compile_span.set("cache_hit", True)
+                return self._wrap(payload, from_cache=True, plan=plan)
+            compile_span.set("cache_hit", False)
 
-        # Single-flight: the first thread to miss owns the build; every
-        # concurrent miss on the same digest waits for its result instead
-        # of repeating the pipeline.
-        with self._inflight_lock:
-            future = self._inflight.get(digest)
-            owner = future is None
-            if owner:
-                future = self._inflight[digest] = Future()
-        if not owner:
-            return self._wrap(future.result(), from_cache=True, plan=plan)
-        try:
-            self.metrics.incr("cache.misses")
-            payload = self._build(source, level_obj, config, backend_name, digest)
-            self.cache.put(digest, payload)
-            future.set_result(payload)
-        except BaseException as error:
-            future.set_exception(error)
-            raise
-        finally:
+            # Single-flight: the first thread to miss owns the build;
+            # every concurrent miss on the same digest waits for its
+            # result instead of repeating the pipeline.
             with self._inflight_lock:
-                self._inflight.pop(digest, None)
-        return self._wrap(payload, from_cache=False, plan=plan)
+                future = self._inflight.get(digest)
+                owner = future is None
+                if owner:
+                    future = self._inflight[digest] = Future()
+            if not owner:
+                return self._wrap(future.result(), from_cache=True, plan=plan)
+            try:
+                self.metrics.incr("cache.misses")
+                payload = self._build(
+                    source, level_obj, config, backend_name, digest
+                )
+                self.cache.put(digest, payload)
+                future.set_result(payload)
+            except BaseException as error:
+                future.set_exception(error)
+                raise
+            finally:
+                with self._inflight_lock:
+                    self._inflight.pop(digest, None)
+            return self._wrap(payload, from_cache=False, plan=plan)
 
     def _wrap(
         self,
@@ -262,6 +297,7 @@ class Service:
             from_cache=from_cache,
             engine=engine,
             plan=plan,
+            tracer=self.tracer,
         )
 
     def _build(
@@ -274,19 +310,23 @@ class Service:
     ) -> Dict[str, object]:
         build = Metrics()
         self.metrics.incr("service.compiles")
+        # Per-pass spans ride the same timers= hook the metrics use: the
+        # fanout forwards each ``compile.*`` section to both sinks, so
+        # spans nest under the active ``compile`` span automatically.
+        timers = TracedTimers(build, self.tracer if self.tracer.enabled else None)
         with build.time("compile.total"):
-            with build.time("compile.normalize"):
+            with timers.time("compile.normalize"):
                 program = normalize_source(source, config, self.self_temp_policy)
                 if self.simplify:
                     from repro.ir import simplify_program
 
                     simplify_program(program)
             # plan_program times compile.deps / compile.fusion internally.
-            plan = plan_program(program, level, timers=build)
-            with build.time("compile.scalarize"):
+            plan = plan_program(program, level, timers=timers)
+            with timers.time("compile.scalarize"):
                 scalar_program = scalarize(program, plan)
             code: Optional[str] = None
-            with build.time("compile.codegen"):
+            with timers.time("compile.codegen"):
                 if backend_name == "codegen_py":
                     code = render_python(scalar_program)
                 elif backend_name == "codegen_np":

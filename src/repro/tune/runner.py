@@ -28,6 +28,8 @@ import statistics
 import time
 from typing import Callable, List, NamedTuple, Optional
 
+from repro.obs.tracer import NOOP_SPAN
+
 #: Abandon a candidate whose first timed repeat exceeds the best median
 #: so far by this factor.
 CUTOFF_FACTOR = 3.0
@@ -91,12 +93,16 @@ class Runner:
         max_extra_repeats: int = MAX_EXTRA_REPEATS,
         metrics=None,
         clock: Callable[[], float] = time.perf_counter,
+        tracer=None,
     ) -> None:
         self.warmup = max(0, int(warmup))
         self.repeats = max(1, int(repeats))
         self.max_spread = float(max_spread)
         self.max_extra_repeats = max(0, int(max_extra_repeats))
         self.metrics = metrics
+        #: Optional :class:`repro.obs.Tracer`: each ``measure`` records
+        #: one ``tune.measure`` span (repeats/aborted attributes).
+        self.tracer = tracer
         self.clock = clock
         #: Total measurements taken; the determinism tests assert a
         #: tunedb hit leaves this at zero.
@@ -127,7 +133,13 @@ class Runner:
             self.metrics.incr("tune.measurements")
         samples: List[float] = []
         timer = self.metrics.time if self.metrics is not None else None
-        with _maybe(timer, "tune.measure"):
+        tracer = self.tracer
+        span_cm = (
+            tracer.span("tune.measure")
+            if tracer is not None and tracer.enabled
+            else NOOP_SPAN
+        )
+        with span_cm as span, _maybe(timer, "tune.measure"):
             for _ in range(self.warmup):
                 if budget is not None and budget.exhausted:
                     break
@@ -158,6 +170,8 @@ class Runner:
                 extra += 1
                 if self.metrics is not None:
                     self.metrics.incr("tune.extra_repeats")
+            span.set("repeats", len(samples))
+            span.set("aborted", aborted)
         return Measurement(
             seconds=statistics.median(samples),
             repeats=len(samples),

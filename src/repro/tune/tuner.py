@@ -219,6 +219,7 @@ def tune(
     self_temp_policy: str = "always",
     simplify: bool = False,
     clock: Optional[Callable[[], float]] = None,
+    tracer=None,
 ) -> TuneResult:
     """Pick the fastest serving plan for a program on this machine.
 
@@ -254,7 +255,12 @@ def tune(
             )
 
     if runner is None:
-        runner_kwargs = {"warmup": warmup, "repeats": repeats, "metrics": metrics}
+        runner_kwargs = {
+            "warmup": warmup,
+            "repeats": repeats,
+            "metrics": metrics,
+            "tracer": tracer,
+        }
         if clock is not None:
             runner_kwargs["clock"] = clock
         runner = Runner(**runner_kwargs)

@@ -193,3 +193,108 @@ class TestTune:
         out = capsys.readouterr().out
         assert "plan=" in out and "(tuned)" in out
         assert winner_line.split()[1] in out
+
+
+class TestTrace:
+    def test_prints_span_tree(self, source_file, capsys):
+        assert main(["trace", source_file]) == 0
+        out = capsys.readouterr().out
+        assert "compile" in out and "execute" in out
+        assert "compile.fusion" in out
+        assert "cache_hit=False" in out
+
+    def test_out_writes_chrome_trace(self, source_file, tmp_path, capsys):
+        import json
+
+        path = str(tmp_path / "trace.json")
+        assert main(["trace", source_file, "--backend", "np-par",
+                     "--workers", "2", "--tile-shape", "3x3",
+                     "--out", path]) == 0
+        out = capsys.readouterr().out
+        assert "perfetto" in out
+        with open(path) as handle:
+            document = json.load(handle)
+        events = document["traceEvents"]
+        assert all({"ph", "pid", "tid", "name"} <= set(e) for e in events)
+        names = {e["name"] for e in events if e["ph"] == "X"}
+        assert "compile.fusion" in names  # nested compile-pass spans
+        assert "par.tile" in names  # per-tile spans
+        assert "par.sweep" in out  # the printed tree shows the sweep
+
+    def test_trace_is_cold_every_time(self, source_file, capsys):
+        # persistent=False: the second invocation still shows the full
+        # pipeline rather than a disk-cache replay.
+        assert main(["trace", source_file]) == 0
+        first = capsys.readouterr().out
+        assert main(["trace", source_file]) == 0
+        second = capsys.readouterr().out
+        assert "compile.fusion" in first and "compile.fusion" in second
+
+
+class TestStatsFormats:
+    def test_json_format(self, tmp_path, capsys):
+        import json
+
+        assert main(["stats", "--cache-dir", str(tmp_path)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "cache" in payload and "artifacts" in payload
+
+    def test_json_is_the_default(self, tmp_path, capsys):
+        import json
+
+        assert main(["stats", "--cache-dir", str(tmp_path),
+                     "--format", "json"]) == 0
+        json.loads(capsys.readouterr().out)
+
+    def test_prom_format(self, tmp_path, capsys):
+        assert main(["stats", "--cache-dir", str(tmp_path),
+                     "--format", "prom"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_cache_memory_entries gauge" in out
+        assert "repro_cache_disk_entries 0" in out
+
+    def test_unknown_format_is_an_error(self, tmp_path, capsys):
+        assert main(["stats", "--cache-dir", str(tmp_path),
+                     "--format", "yaml"]) == 1
+        err = capsys.readouterr().err
+        assert "error" in err
+        assert "unknown stats format" in err and "json, prom" in err
+
+
+class TestServeTrace:
+    def test_trace_dir_writes_chrome_trace(
+        self, source_file, tmp_path, capsys, monkeypatch
+    ):
+        import json
+        import os
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        trace_dir = str(tmp_path / "traces")
+        assert main(["serve", source_file, "--trace-dir", trace_dir]) == 0
+        (name,) = os.listdir(trace_dir)
+        assert name.startswith("serve-") and name.endswith(".json")
+        with open(os.path.join(trace_dir, name)) as handle:
+            document = json.load(handle)
+        names = {e["name"] for e in document["traceEvents"] if e["ph"] == "X"}
+        assert "compile" in names and "execute" in names
+
+    def test_env_trace_prints_tree_to_stderr(
+        self, source_file, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        assert main(["serve", source_file]) == 0
+        err = capsys.readouterr().err
+        assert "compile" in err and "execute" in err
+
+    def test_env_trace_path_writes_file(
+        self, source_file, tmp_path, capsys, monkeypatch
+    ):
+        import json
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        out = str(tmp_path / "serve-trace.json")
+        monkeypatch.setenv("REPRO_TRACE", out)
+        assert main(["serve", source_file]) == 0
+        with open(out) as handle:
+            assert json.load(handle)["traceEvents"]

@@ -1,0 +1,121 @@
+#!/usr/bin/env python
+"""Execute every fenced ``python`` code block in README.md and docs/.
+
+The documentation's Python examples are part of the contract: the
+docs-check CI job runs this script, so a README snippet that stops
+compiling fails the build instead of rotting.
+
+Conventions:
+
+* Only blocks fenced exactly as ```` ```python ```` are executed
+  (``console``, ``bash``, ``text``, ``zpl`` blocks are prose).
+* The blocks of one markdown file run **in order in one shared
+  namespace**, so a later block may build on names an earlier block
+  defined — exactly how a reader works through them.
+* Each markdown file runs in its own subprocess, inside a scratch
+  working directory, with ``PYTHONPATH`` pointing at ``src/`` — so
+  examples that write files (caches, trace exports) stay contained and
+  files cannot leak state into each other.
+
+Usage::
+
+    python tools/check_docs.py            # check README.md + docs/*.md
+    python tools/check_docs.py FILE...    # check specific markdown files
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import tempfile
+from typing import List, Tuple
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def extract_python_blocks(path: str) -> List[Tuple[int, str]]:
+    """(first line number, source) for every ```python fence in a file."""
+    blocks: List[Tuple[int, str]] = []
+    current: List[str] = []
+    start = None
+    with open(path) as handle:
+        for number, line in enumerate(handle, 1):
+            stripped = line.rstrip("\n")
+            if start is None:
+                if stripped.strip() == "```python":
+                    start = number + 1
+                    current = []
+            elif stripped.strip() == "```":
+                blocks.append((start, "".join(current)))
+                start = None
+            else:
+                current.append(line)
+    if start is not None:
+        raise SystemExit("%s: unterminated ```python fence at line %d" % (path, start))
+    return blocks
+
+
+def run_blocks(path: str) -> int:
+    """Exec one file's blocks in a shared namespace (subprocess mode)."""
+    blocks = extract_python_blocks(path)
+    namespace = {"__name__": "__docs__"}
+    label = os.path.relpath(path, REPO_ROOT)
+    for lineno, source in blocks:
+        # Pad so tracebacks point at the markdown file's real lines.
+        padded = "\n" * (lineno - 1) + source
+        try:
+            exec(compile(padded, label, "exec"), namespace)
+        except Exception:
+            import traceback
+
+            traceback.print_exc()
+            print("FAIL %s:%d" % (label, lineno))
+            return 1
+        print("ok   %s:%d" % (label, lineno))
+    return 0
+
+
+def default_files() -> List[str]:
+    files = [os.path.join(REPO_ROOT, "README.md")]
+    docs_dir = os.path.join(REPO_ROOT, "docs")
+    for name in sorted(os.listdir(docs_dir)):
+        if name.endswith(".md"):
+            files.append(os.path.join(docs_dir, name))
+    return files
+
+
+def main(argv: List[str]) -> int:
+    if len(argv) >= 2 and argv[1] == "--run":
+        return run_blocks(argv[2])
+
+    files = [os.path.abspath(arg) for arg in argv[1:]] or default_files()
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        part
+        for part in (os.path.join(REPO_ROOT, "src"), env.get("PYTHONPATH"))
+        if part
+    )
+    failures = 0
+    checked = 0
+    for path in files:
+        if not extract_python_blocks(path):
+            continue
+        checked += 1
+        with tempfile.TemporaryDirectory(prefix="repro-docs-") as scratch:
+            result = subprocess.run(
+                [sys.executable, os.path.abspath(__file__), "--run", path],
+                cwd=scratch,
+                env=env,
+            )
+        if result.returncode != 0:
+            failures += 1
+    print(
+        "docs-check: %d file(s) checked, %d failed" % (checked, failures),
+        file=sys.stderr,
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))
