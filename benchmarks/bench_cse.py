@@ -1,0 +1,142 @@
+"""Redundancy elimination: static op reduction and wall-clock effect.
+
+The ``+cse`` levels hoist subterms shared across a fused cluster's
+statements (docs/ALGORITHMS.md §11).  On shared-stencil pipelines —
+several statements combining the same neighborhood sum — the pass must
+(a) measurably reduce the per-point operation count of the emitted loop
+nests, and (b) not lose wall-clock time against its non-CSE twin: the
+element back end re-evaluates every spelled-out term, so fewer ops is
+directly less work, while the slice back end trades the saved flops for
+one region temporary per hoist.
+
+For every case and twin pair the table records the static nest op
+counts, the pass's own statistics (terms hoisted, uses replaced, ops
+saved per point) and best-of interleaved timings on both generated back
+ends.  Asserts each case hoists at least one term, cuts static ops, and
+stays within ``SLOWDOWN_BAR`` of the twin on the element back end.
+Saves the table to ``results/cse.txt``.
+"""
+
+import time
+
+from repro.exec import get_backend
+from repro.fusion import CSE_TWINS, LEVELS_BY_NAME, plan_program
+from repro.ir import normalize_source
+from repro.scalarize import scalarize
+
+N = 160
+ROUNDS = 3
+REPS = 2
+
+#: The +cse level may not be slower than its twin on the element back
+#: end by more than measurement noise.
+SLOWDOWN_BAR = 1.05
+
+SHARED_STENCIL = """
+program shared;
+config n : integer = %d;
+region R = [1..n, 1..n];
+region I = [2..n-1, 2..n-1];
+var A, B, C, D : [R] float;
+var s, t : float;
+begin
+  [R] A := Index1 * 1.5 + Index2;
+  [I] B := (A@(0,-1) + A@(0,1) + A@(-1,0) + A@(1,0)) * 0.25;
+  [I] C := (A@(0,-1) + A@(0,1) + A@(-1,0) + A@(1,0)) * 0.75 + B;
+  [I] D := sqrt(abs(A@(0,-1) + A@(0,1) + A@(-1,0) + A@(1,0)) + 0.1);
+  s := 0.5;
+  t := (+<< [R] B) + (+<< [R] C) + (+<< [R] D);
+end;
+""" % N
+
+INTRA = """
+program intra;
+config n : integer = %d;
+region R = [1..n, 1..n];
+region I = [2..n-1, 2..n-1];
+var A, B, C : [R] float;
+var s, t : float;
+begin
+  [R] A := Index1 + Index2 * 0.5;
+  [I] B := (A@(0,-1) + A@(0,1) + A@(-1,0)) * (A@(0,-1) + A@(0,1) + A@(-1,0));
+  [I] C := (A@(0,-1) + A@(0,1) + A@(-1,0)) * 0.5 + B;
+  s := 0.0;
+  t := (+<< [R] B) + (+<< [R] C);
+end;
+""" % N
+
+CASES = [
+    ("shared stencil x3", SHARED_STENCIL),
+    ("intra + cross reuse", INTRA),
+]
+
+BACKENDS = ("codegen_py", "codegen_np")
+
+
+def _compile(source, level_name):
+    program = normalize_source(source)
+    plan = plan_program(program, LEVELS_BY_NAME[level_name])
+    return plan, scalarize(program, plan)
+
+
+def _nest_ops(scalar_program):
+    return sum(
+        stmt.rhs.op_count()
+        for nest in scalar_program.loop_nests()
+        for stmt in nest.body
+    )
+
+
+def _best_of_interleaved(run_a, run_b):
+    run_a(), run_b()  # warm code objects and allocators outside the timing
+    best_a = best_b = float("inf")
+    for _round in range(ROUNDS):
+        for _rep in range(REPS):
+            start = time.perf_counter()
+            run_a()
+            best_a = min(best_a, time.perf_counter() - start)
+            start = time.perf_counter()
+            run_b()
+            best_b = min(best_b, time.perf_counter() - start)
+    return best_a, best_b
+
+
+def test_cse_reduces_ops_without_losing_time(save_result):
+    lines = [
+        "Redundancy elimination vs. non-CSE twin, n=%d" % N,
+        "(static nest ops + best of %d rounds x %d reps, interleaved)"
+        % (ROUNDS, REPS),
+        "",
+        "%-22s %-12s %8s %8s %18s %12s %12s %8s"
+        % ("case", "levels", "ops", "ops+cse", "hoists/uses/saved",
+           "backend", "twin ms", "cse ms"),
+    ]
+    for label, source in CASES:
+        for cse_name, base_name in sorted(CSE_TWINS.items()):
+            cse_plan, cse_sp = _compile(source, cse_name)
+            _base_plan, base_sp = _compile(source, base_name)
+            stats = cse_plan.cse_stats()
+            base_ops, cse_ops = _nest_ops(base_sp), _nest_ops(cse_sp)
+            assert stats.terms_hoisted >= 1, (label, cse_name)
+            assert cse_ops < base_ops, (label, cse_name)
+            stat_cell = "%d/%d/%d" % (
+                stats.terms_hoisted,
+                stats.uses_replaced,
+                stats.saved_ops_per_point,
+            )
+            for backend in BACKENDS:
+                engine = get_backend(backend)
+                run_base = lambda: engine.execute(base_sp)  # noqa: E731
+                run_cse = lambda: engine.execute(cse_sp)  # noqa: E731
+                base_s, cse_s = _best_of_interleaved(run_base, run_cse)
+                lines.append(
+                    "%-22s %-12s %8d %8d %18s %12s %12.2f %12.2f"
+                    % (label, cse_name, base_ops, cse_ops, stat_cell,
+                       backend, base_s * 1e3, cse_s * 1e3)
+                )
+                if backend == "codegen_py":
+                    assert cse_s <= base_s * SLOWDOWN_BAR, (
+                        "%s %s %s: cse %.2fms vs twin %.2fms"
+                        % (label, cse_name, backend, cse_s * 1e3, base_s * 1e3)
+                    )
+    save_result("cse", "\n".join(lines))

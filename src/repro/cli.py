@@ -349,6 +349,18 @@ def cmd_compile(args) -> int:
                 print("row buffers:", block_plan.partial)
             print()
         print("surviving arrays:", sorted(plan.live_arrays()))
+        stats = plan.cse_stats()
+        if stats is not None:
+            print(
+                "cse: %d hoisted / %d uses (%d ops/point saved, "
+                "%d shifted classes seen)"
+                % (
+                    stats.terms_hoisted,
+                    stats.uses_replaced,
+                    stats.saved_ops_per_point,
+                    stats.shifted_classes,
+                )
+            )
         return 0
     scalar_program = scalarize(program, plan)
     if args.emit == "c":

@@ -22,15 +22,25 @@ from repro.fusion.pipeline import (
     C1,
     C2,
     C2F3,
+    C2F3CSE,
     C2F4,
+    C2F4CSE,
+    CSE_TWINS,
     F1,
     F2,
     F3,
     LEVELS_BY_NAME,
+    PAPER_LEVELS,
     Level,
     ProgramPlan,
     plan_block,
     plan_program,
+)
+from repro.fusion.redundancy import (
+    BlockCSE,
+    CSEStats,
+    eliminate_redundancies,
+    is_cse_scalar,
 )
 from repro.fusion.weights import (
     contraction_benefit,
@@ -41,19 +51,27 @@ from repro.fusion.weights import (
 __all__ = [
     "ALL_LEVELS",
     "BASELINE",
+    "BlockCSE",
     "BlockPlan",
     "C1",
     "C2",
     "C2F3",
+    "C2F3CSE",
     "C2F4",
+    "C2F4CSE",
     "C2P",
+    "CSEStats",
+    "CSE_TWINS",
     "F1",
     "F2",
     "F3",
     "FusionPartition",
     "LEVELS_BY_NAME",
+    "PAPER_LEVELS",
     "Level",
     "ProgramPlan",
+    "eliminate_redundancies",
+    "is_cse_scalar",
     "buffer_bytes",
     "contraction_benefit",
     "find_partial_contractions",

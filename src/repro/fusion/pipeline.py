@@ -45,6 +45,7 @@ class Level:
         "fuse_locality",
         "fuse_all",
         "contract_partial",
+        "cse",
     )
 
     def __init__(
@@ -57,6 +58,7 @@ class Level:
         fuse_locality: bool = False,
         fuse_all: bool = False,
         contract_partial: bool = False,
+        cse: bool = False,
     ) -> None:
         self.name = name
         self.fuse_compiler = fuse_compiler
@@ -66,6 +68,7 @@ class Level:
         self.fuse_locality = fuse_locality
         self.fuse_all = fuse_all
         self.contract_partial = contract_partial
+        self.cse = cse
 
     def __repr__(self) -> str:
         return "Level(%s)" % self.name
@@ -101,6 +104,29 @@ C2F4 = Level(
     fuse_all=True,
 )
 
+#: Redundancy-elimination variants (not paper strategies): the fusion
+#: levels that expose shared terms across fused statements, plus the
+#: array-level CSE pass of :mod:`repro.fusion.redundancy`.
+C2F3CSE = Level(
+    "c2+f3+cse",
+    fuse_compiler=True,
+    fuse_user=True,
+    contract_compiler=True,
+    contract_user=True,
+    fuse_locality=True,
+    cse=True,
+)
+C2F4CSE = Level(
+    "c2+f4+cse",
+    fuse_compiler=True,
+    fuse_user=True,
+    contract_compiler=True,
+    contract_user=True,
+    fuse_locality=True,
+    fuse_all=True,
+    cse=True,
+)
+
 #: The Section 5.2 extension (not one of the paper's measured strategies):
 #: c2+f3 plus partial contraction of sweep-carried arrays to row buffers.
 C2P = Level(
@@ -113,8 +139,26 @@ C2P = Level(
     contract_partial=True,
 )
 
-ALL_LEVELS: List[Level] = [BASELINE, F1, C1, F2, F3, C2, C2F3, C2F4]
+ALL_LEVELS: List[Level] = [
+    BASELINE,
+    F1,
+    C1,
+    F2,
+    F3,
+    C2,
+    C2F3,
+    C2F4,
+    C2F3CSE,
+    C2F4CSE,
+]
 LEVELS_BY_NAME: Dict[str, Level] = {level.name: level for level in ALL_LEVELS}
+
+#: The paper's eight measured strategies (Section 5.4) — the evaluation
+#: harness iterates these; the +cse variants are repo extensions.
+PAPER_LEVELS: List[Level] = [BASELINE, F1, C1, F2, F3, C2, C2F3, C2F4]
+
+#: Each +cse level's non-CSE twin (identical fusion/contraction flags).
+CSE_TWINS: Dict[str, str] = {"c2+f3+cse": "c2+f3", "c2+f4+cse": "c2+f4"}
 
 
 class BlockPlan:
@@ -125,10 +169,19 @@ class BlockPlan:
     ``range_scalars`` maps ``(statement uid, array)`` to the scalar that
     replaces the array's access in that statement — per-live-range
     contraction can rewrite some definitions of an array while others keep
-    writing storage (Figure 3's footnote).
+    writing storage (Figure 3's footnote).  ``cse``, when the level runs
+    redundancy elimination, is the :class:`repro.fusion.redundancy.BlockCSE`
+    holding per-cluster hoisted terms and rewritten right-hand sides.
     """
 
-    __slots__ = ("block", "partition", "contracted", "partial", "range_scalars")
+    __slots__ = (
+        "block",
+        "partition",
+        "contracted",
+        "partial",
+        "range_scalars",
+        "cse",
+    )
 
     def __init__(
         self,
@@ -137,11 +190,13 @@ class BlockPlan:
         contracted: Set[str],
         partial: Optional[Dict[str, tuple]] = None,
         range_scalars: Optional[Dict[tuple, str]] = None,
+        cse=None,
     ) -> None:
         self.block = block
         self.partition = partition
         self.contracted = contracted
         self.partial = dict(partial or {})
+        self.cse = cse
         if range_scalars is None:
             # Whole-array contraction (hand-built plans, tests): every
             # statement touching a contracted array uses its one scalar.
@@ -207,6 +262,18 @@ class ProgramPlan:
         contracted = self.contracted_arrays()
         return [name for name in self.program.arrays if name not in contracted]
 
+    def cse_stats(self):
+        """Aggregated redundancy-elimination statistics, or ``None``."""
+        from repro.fusion.redundancy import CSEStats
+
+        if not self.level.cse:
+            return None
+        stats = CSEStats()
+        for plan in self.block_plans.values():
+            if plan.cse is not None:
+                stats = stats.merge(plan.cse.stats)
+        return stats
+
 
 def plan_block(
     program: IRProgram,
@@ -214,6 +281,7 @@ def plan_block(
     level: Level,
     merge_filter: Optional[MergeFilter] = None,
     timers=None,
+    block_ordinal: int = 0,
 ) -> BlockPlan:
     """Run the level's fusion passes over one basic block.
 
@@ -285,7 +353,16 @@ def plan_block(
             touched = {name for (_uid, name) in range_scalars}
             partial = find_partial_contractions(program, block, touched)
 
-    return BlockPlan(block, partition, contracted, partial, range_scalars)
+    cse = None
+    if level.cse:
+        from repro.fusion.redundancy import eliminate_redundancies
+
+        with timed("compile.cse"):
+            cse = eliminate_redundancies(
+                partition, range_scalars, block_ordinal
+            )
+
+    return BlockPlan(block, partition, contracted, partial, range_scalars, cse)
 
 
 def plan_program(
@@ -300,6 +377,10 @@ def plan_program(
     meter the dependence and fusion passes separately.
     """
     plan = ProgramPlan(program, level)
-    for block in program.blocks():
-        plan.add(plan_block(program, block, level, merge_filter, timers))
+    for ordinal, block in enumerate(program.blocks()):
+        plan.add(
+            plan_block(
+                program, block, level, merge_filter, timers, ordinal
+            )
+        )
     return plan

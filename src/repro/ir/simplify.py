@@ -15,7 +15,7 @@ rewrites listed here; in particular ``x * 0 -> 0`` is *not* performed
 from __future__ import annotations
 
 import math
-from typing import List, Optional
+from typing import Dict, List, Mapping, Optional
 
 from repro.ir import expr as ir
 from repro.ir.program import IRProgram
@@ -42,6 +42,19 @@ _FOLDABLE_CALLS = {
     "pow": math.pow,
 }
 
+#: Intrinsics closed over the integers: int arguments produce an int
+#: result under the runtime semantics (np.abs/np.minimum/np.maximum on
+#: int64 operands stay int64), so their folds must stay int too.
+_INT_CLOSED_CALLS = frozenset(["abs", "min", "max"])
+
+#: numpy promotion order (mirrors ``emit_common._KIND_RANK``; duplicated
+#: here so the IR layer does not import the scalarize layer).
+_KIND_RANK = {"boolean": 0, "integer": 1, "float": 2}
+
+
+def join_kinds(left: str, right: str) -> str:
+    return left if _KIND_RANK[left] >= _KIND_RANK[right] else right
+
 
 def _const_value(node: ir.IRExpr):
     if isinstance(node, ir.Const) and isinstance(node.value, (int, float)):
@@ -60,7 +73,154 @@ def _is_one(node: ir.IRExpr) -> bool:
     return value == 1
 
 
-def _fold_binop(node: ir.BinOp) -> Optional[ir.IRExpr]:
+def _strict_kind(
+    expr: ir.IRExpr,
+    array_kinds: Mapping[str, str],
+    scalar_kinds: Mapping[str, str],
+) -> Optional[str]:
+    """The element kind of ``expr``, or ``None`` when it cannot be proved.
+
+    Unlike :func:`repro.scalarize.emit_common.infer_expr_kind` (which
+    defaults unknown references to ``"float"`` because its callers hold
+    complete kind tables), this variant propagates *unknown*: identity
+    rewrites must only fire when the kind — and with it the IEEE
+    signed-zero and dtype-promotion behaviour — is certain.
+    """
+    if isinstance(expr, ir.Const):
+        if isinstance(expr.value, bool):
+            return "boolean"
+        if isinstance(expr.value, int):
+            return "integer"
+        if isinstance(expr.value, float):
+            return "float"
+        return None
+    if isinstance(expr, ir.ScalarRef):
+        return scalar_kinds.get(expr.name)
+    if isinstance(expr, ir.ArrayRef):
+        return array_kinds.get(expr.name)
+    if isinstance(expr, ir.IndexRef):
+        return "integer"
+    if isinstance(expr, ir.BinOp):
+        if expr.op in ("/", "^"):
+            return "float"
+        if expr.op in ("<", "<=", ">", ">=", "=", "!=", "and", "or"):
+            return "boolean"
+        left = _strict_kind(expr.left, array_kinds, scalar_kinds)
+        right = _strict_kind(expr.right, array_kinds, scalar_kinds)
+        if left is None or right is None:
+            return None
+        return join_kinds(left, right)
+    if isinstance(expr, ir.UnOp):
+        if expr.op == "not":
+            return "boolean"
+        return _strict_kind(expr.operand, array_kinds, scalar_kinds)
+    if isinstance(expr, ir.Call):
+        if expr.name in ("floor", "ceil"):
+            return "integer"
+        if expr.name in ("abs", "min", "max", "mod", "sign"):
+            kind = "boolean"
+            for arg in expr.args:
+                arg_kind = _strict_kind(arg, array_kinds, scalar_kinds)
+                if arg_kind is None:
+                    return None
+                kind = join_kinds(kind, arg_kind)
+            return kind
+        if expr.name in ("sqrt", "exp", "log", "sin", "cos", "tan", "atan"):
+            return "float"
+        # ``pow`` is deliberately None: np.power keeps int operands int
+        # while math.pow floats them, so its kind cannot be certified.
+        return None
+    if isinstance(expr, ir.Reduce):
+        return _strict_kind(expr.operand, array_kinds, scalar_kinds)
+    return None
+
+
+def _is_neg_zero(node: ir.IRExpr) -> bool:
+    value = _const_value(node)
+    return (
+        isinstance(value, float)
+        and value == 0.0
+        and math.copysign(1.0, value) < 0
+    )
+
+
+def _fold_identity(
+    node: ir.BinOp,
+    array_kinds: Mapping[str, str],
+    scalar_kinds: Mapping[str, str],
+) -> Optional[ir.IRExpr]:
+    """Kind-gated identity-element rewrites.
+
+    Every rewrite here must preserve IEEE bit patterns *and* the result
+    dtype, so each one is gated on the proved kind of the surviving
+    operand:
+
+    * ``x + 0.0 -> x`` is wrong for ``x = -0.0`` (the sum is ``+0.0``
+      under round-to-nearest); only ``x + (-0.0)`` preserves every float
+      ``x``, and only int ``x + 0`` preserves every int ``x``.
+    * ``x - 0.0 -> x`` *is* exact for floats (``-0.0 - 0.0 == -0.0``),
+      but ``x - (-0.0)`` is not (``-0.0 - (-0.0) == +0.0``).
+    * ``x * 1`` / ``x / 1`` / ``x ^ 1`` are value-exact, but ``/`` and
+      ``^`` promote int operands to float, and an int literal ``1`` on a
+      ``*`` keeps int-typed ``x`` int while ``1.0`` would promote it —
+      so each requires the operand kind that makes the fold dtype-exact.
+    * boolean operands are never rewritten (``True + 0`` is int ``1`` at
+      runtime, not ``True``).
+    """
+
+    def kind_of(side: ir.IRExpr) -> Optional[str]:
+        return _strict_kind(side, array_kinds, scalar_kinds)
+
+    def zero_fold_ok(zero: ir.IRExpr, keep: ir.IRExpr) -> bool:
+        # x + 0 (int zero) is exact for int x; x + (-0.0) for float x.
+        value = _const_value(zero)
+        if not _is_zero(zero):
+            return False
+        if isinstance(value, int):
+            return kind_of(keep) == "integer"
+        return _is_neg_zero(zero) and kind_of(keep) == "float"
+
+    if node.op == "+":
+        if zero_fold_ok(node.left, node.right):
+            return node.right
+        if zero_fold_ok(node.right, node.left):
+            return node.left
+    elif node.op == "-":
+        if _is_zero(node.right) and not _is_neg_zero(node.right):
+            value = _const_value(node.right)
+            kind = kind_of(node.left)
+            if isinstance(value, int):
+                # x - 0 subtracts +0 after promotion: exact for both.
+                if kind in ("integer", "float"):
+                    return node.left
+            elif kind == "float":
+                return node.left
+    elif node.op == "*":
+        if _is_one(node.left):
+            node = ir.BinOp(node.op, node.right, node.left)
+        if _is_one(node.right):
+            value = _const_value(node.right)
+            kind = kind_of(node.left)
+            if isinstance(value, int):
+                if kind in ("integer", "float"):
+                    return node.left
+            elif kind == "float":
+                return node.left
+    elif node.op == "/":
+        # Division promotes to float: only a float operand keeps dtype.
+        if _is_one(node.right) and kind_of(node.left) == "float":
+            return node.left
+    elif node.op == "^":
+        if _is_one(node.right) and kind_of(node.left) == "float":
+            return node.left
+    return None
+
+
+def _fold_binop(
+    node: ir.BinOp,
+    array_kinds: Mapping[str, str],
+    scalar_kinds: Mapping[str, str],
+) -> Optional[ir.IRExpr]:
     left = _const_value(node.left)
     right = _const_value(node.right)
 
@@ -83,26 +243,7 @@ def _fold_binop(node: ir.BinOp) -> Optional[ir.IRExpr]:
         return None
 
     # Identity elements.  (x*0 and 0/x are NOT folded: NaN/inf semantics.)
-    if node.op == "+":
-        if _is_zero(node.left):
-            return node.right
-        if _is_zero(node.right):
-            return node.left
-    elif node.op == "-":
-        if _is_zero(node.right):
-            return node.left
-    elif node.op == "*":
-        if _is_one(node.left):
-            return node.right
-        if _is_one(node.right):
-            return node.left
-    elif node.op == "/":
-        if _is_one(node.right):
-            return node.left
-    elif node.op == "^":
-        if _is_one(node.right):
-            return node.left
-    return None
+    return _fold_identity(node, array_kinds, scalar_kinds)
 
 
 def _fold_unop(node: ir.UnOp) -> Optional[ir.IRExpr]:
@@ -125,19 +266,41 @@ def _fold_call(node: ir.Call) -> Optional[ir.IRExpr]:
     values = [_const_value(arg) for arg in node.args]
     if any(value is None for value in values):
         return None
+    all_int = all(isinstance(value, int) for value in values)
     try:
-        result = fn(*values)
+        if node.name == "pow" and all_int and values[1] >= 0:
+            # np.power on int operands stays int; math.pow would float
+            # the fold.  Negative exponents divide, hence go float.
+            result = values[0] ** values[1]
+        else:
+            result = fn(*values)
     except (ValueError, OverflowError, ZeroDivisionError):
         return None
+    if all_int and (
+        node.name in _INT_CLOSED_CALLS
+        or (node.name == "pow" and values[1] >= 0)
+    ):
+        return ir.Const(int(result))
     return ir.Const(float(result))
 
 
-def simplify_expr(expr: ir.IRExpr) -> ir.IRExpr:
-    """Fold constants and identities bottom-up; semantics-preserving."""
+def simplify_expr(
+    expr: ir.IRExpr,
+    array_kinds: Optional[Mapping[str, str]] = None,
+    scalar_kinds: Optional[Mapping[str, str]] = None,
+) -> ir.IRExpr:
+    """Fold constants and identities bottom-up; semantics-preserving.
+
+    The kind maps gate the identity-element rewrites: without them only
+    rewrites that are exact for *every* possible operand kind fire (see
+    :func:`_fold_identity`).
+    """
+    array_kinds = array_kinds or {}
+    scalar_kinds = scalar_kinds or {}
 
     def visit(node: ir.IRExpr) -> Optional[ir.IRExpr]:
         if isinstance(node, ir.BinOp):
-            return _fold_binop(node)
+            return _fold_binop(node, array_kinds, scalar_kinds)
         if isinstance(node, ir.UnOp):
             return _fold_unop(node)
         if isinstance(node, ir.Call):
@@ -147,25 +310,47 @@ def simplify_expr(expr: ir.IRExpr) -> ir.IRExpr:
     return expr.map(visit)
 
 
+def program_kind_maps(program: IRProgram):
+    """(array, scalar) element-kind tables for kind-gated rewrites."""
+    array_kinds: Dict[str, str] = {
+        name: info.elem_kind for name, info in program.arrays.items()
+    }
+    scalar_kinds: Dict[str, str] = {
+        name: info.kind for name, info in program.scalars.items()
+    }
+    for name, value in program.configs.items():
+        if isinstance(value, bool):
+            scalar_kinds.setdefault(name, "boolean")
+        elif isinstance(value, int):
+            scalar_kinds.setdefault(name, "integer")
+        elif isinstance(value, float):
+            scalar_kinds.setdefault(name, "float")
+    return array_kinds, scalar_kinds
+
+
 def simplify_program(program: IRProgram) -> IRProgram:
     """Simplify every statement's expressions in place; returns the program."""
+    array_kinds, scalar_kinds = program_kind_maps(program)
+
+    def simplify(expr: ir.IRExpr) -> ir.IRExpr:
+        return simplify_expr(expr, array_kinds, scalar_kinds)
 
     def walk(body: List[IRStatement]) -> None:
         for stmt in body:
             if isinstance(stmt, ArrayStatement):
-                stmt.rhs = simplify_expr(stmt.rhs)
+                stmt.rhs = simplify(stmt.rhs)
             elif isinstance(stmt, ScalarStatement):
-                stmt.rhs = simplify_expr(stmt.rhs)
+                stmt.rhs = simplify(stmt.rhs)
             elif isinstance(stmt, LoopStatement):
-                stmt.lo = simplify_expr(stmt.lo)
-                stmt.hi = simplify_expr(stmt.hi)
+                stmt.lo = simplify(stmt.lo)
+                stmt.hi = simplify(stmt.hi)
                 walk(stmt.body)
             elif isinstance(stmt, IfStatement):
-                stmt.cond = simplify_expr(stmt.cond)
+                stmt.cond = simplify(stmt.cond)
                 walk(stmt.then_body)
                 walk(stmt.else_body)
             elif isinstance(stmt, WhileStatement):
-                stmt.cond = simplify_expr(stmt.cond)
+                stmt.cond = simplify(stmt.cond)
                 walk(stmt.body)
 
     walk(program.body)

@@ -69,6 +69,13 @@ SPANS: List[SpanDef] = [
         "The level's fusion and contraction passes; once per basic block.",
     ),
     SpanDef(
+        "compile.cse",
+        (),
+        "fusion.pipeline.plan_block",
+        "Array-level redundancy elimination (value numbering, hoist "
+        "selection and rewrite); once per basic block, +cse levels only.",
+    ),
+    SpanDef(
         "compile.scalarize",
         (),
         "Service._build",
@@ -162,6 +169,10 @@ TIMERS: List[TimerDef] = [
     TimerDef("compile.normalize", "Parse + check + normalize."),
     TimerDef("compile.deps", "ASDG construction (summed over blocks)."),
     TimerDef("compile.fusion", "Fusion/contraction passes (summed over blocks)."),
+    TimerDef(
+        "compile.cse",
+        "Redundancy elimination (summed over blocks; +cse levels only).",
+    ),
     TimerDef("compile.scalarize", "Loop-nest construction."),
     TimerDef("compile.codegen", "Backend source rendering."),
     TimerDef(

@@ -105,10 +105,14 @@ def plan_program_with_policy(
     plan = ProgramPlan(program, level)
     rank = max((info.rank for info in program.arrays.values()), default=2)
     grid = ProcessorGrid(p, rank)
-    for block in program.blocks():
+    for ordinal, block in enumerate(program.blocks()):
         if policy == FAVOR_COMM and p > 1:
             merge_filter = comm_merge_filter(block, grid)
         else:
             merge_filter = None
-        plan.add(plan_block(program, block, level, merge_filter))
+        plan.add(
+            plan_block(
+                program, block, level, merge_filter, block_ordinal=ordinal
+            )
+        )
     return plan

@@ -216,6 +216,7 @@ class Scalarizer:
             members = partition.statement_order(cluster_id)
             region = members[0].region
             structure = partition.loop_structure(cluster_id)
+            cse = plan.cse.for_cluster(cluster_id) if plan.cse else None
             for stmt in members:
                 if isinstance(stmt, ReductionStatement):
                     kind = self._expr_kind(self._rewrite_stmt(stmt))
@@ -224,7 +225,18 @@ class Scalarizer:
                             stmt.scalar_target, _reduction_init(stmt.op, kind)
                         )
                     )
-            body = [self._convert_statement(stmt) for stmt in members]
+            body: List[ElemAssign] = []
+            for stmt in members:
+                if cse is not None:
+                    for hoist in cse.hoists:
+                        if hoist.before_uid == stmt.uid:
+                            self._scalars[hoist.scalar] = self._expr_kind(
+                                hoist.rhs
+                            )
+                            body.append(
+                                ElemAssign(None, hoist.scalar, hoist.rhs)
+                            )
+                body.append(self._convert_statement(stmt, cse))
             udvs = [
                 udv
                 for _var, udv, dep_type in partition.intra_cluster_udvs(
@@ -243,8 +255,13 @@ class Scalarizer:
             )
         return nests
 
-    def _convert_statement(self, stmt: ArrayStatement) -> ElemAssign:
-        rhs = self._rewrite_stmt(stmt)
+    def _convert_statement(self, stmt: ArrayStatement, cse=None) -> ElemAssign:
+        if cse is not None and stmt.uid in cse.rewritten:
+            # Redundancy elimination already applied the contraction
+            # rewrite and replaced hoisted terms with scalar reads.
+            rhs = cse.rewritten[stmt.uid]
+        else:
+            rhs = self._rewrite_stmt(stmt)
         if isinstance(stmt, ReductionStatement):
             return ElemAssign(None, stmt.scalar_target, rhs, reduce_op=stmt.op)
         target_scalar = self._range_scalars.get((stmt.uid, stmt.target))

@@ -37,7 +37,9 @@ from __future__ import annotations
 import os
 from typing import Dict, Iterable, List, NamedTuple, Optional, Sequence, Tuple
 
+from repro.fusion.redundancy import is_cse_scalar
 from repro.interp.evalexpr import eval_scalar
+from repro.ir.expr import ScalarRef
 from repro.machine.cost import _expr_costs
 from repro.machine.models import MachineModel, host_machine_model
 from repro.machine.trace import MemoryLayout
@@ -178,7 +180,7 @@ def default_space(
     Row-band shapes tailored to the program's sweeps are added by
     :func:`tile_shapes_for`.
     """
-    levels = tuple(dict.fromkeys([level, "c2+f4"]))
+    levels = tuple(dict.fromkeys([level, "c2+f4", "c2+f4+cse"]))
     backends = tuple(dict.fromkeys([backend, "codegen_np", "np-par", "codegen_py"]))
     return PlanSpace(
         levels=levels,
@@ -258,6 +260,7 @@ class _NestProfile(NamedTuple):
     points: float
     compute_cycles: float
     ref_slots: float  # per-point loads+stores summed over statements
+    cse_slots: float  # per-point defs+uses of redundancy-elimination scalars
     distinct_arrays: int
     statements: int
     parallel: bool
@@ -334,6 +337,7 @@ def _nest_profile(
     points = _points(bounds)
     compute = 0.0
     ref_slots = 0.0
+    cse_slots = 0.0
     arrays = set()
     for stmt in nest.body:
         piece = _expr_costs(stmt.rhs, layout)
@@ -346,6 +350,15 @@ def _nest_profile(
         ref_slots += piece["loads"]
         for ref in stmt.rhs.array_refs():
             arrays.add(ref.name)
+        # Redundancy-elimination scalars are loop-local values in the
+        # element backends, but the slice backends materialize each one
+        # as a region-sized temporary: count its def and every use so
+        # the prior can charge that traffic where it is real.
+        if stmt.is_contracted and is_cse_scalar(stmt.scalar_target):
+            cse_slots += 1.0
+        for node in stmt.rhs.walk():
+            if isinstance(node, ScalarRef) and is_cse_scalar(node.name):
+                cse_slots += 1.0
         if stmt.reduce_op is not None:
             compute += machine.flop_cycles  # the accumulate operation
         elif not stmt.is_contracted:
@@ -370,6 +383,7 @@ def _nest_profile(
         points=points,
         compute_cycles=compute * points,
         ref_slots=ref_slots,
+        cse_slots=cse_slots,
         distinct_arrays=max(1, len(arrays)),
         statements=len(nest.body),
         parallel=plan.parallel and sweep_bounds is not None,
@@ -399,6 +413,7 @@ def _reduction_profile(
         points=points,
         compute_cycles=compute * points,
         ref_slots=float(piece["loads"]),
+        cse_slots=0.0,
         distinct_arrays=max(1, len(arrays)),
         statements=1,
         parallel=False,  # tiling a fold would reassociate it
@@ -441,11 +456,21 @@ def predict_cost(
     total_us = 0.0
     for profile, factor in profiles:
         cycles = profile.compute_cycles + overhead_cycles * profile.points
+        # Hoisted-term scalars ride in registers for the element
+        # backends but become region-sized temporaries in the slice
+        # backends: the flops a hoist saves are already gone from
+        # compute_cycles, so this is the opposing traffic term.
+        ref_slots = profile.ref_slots
+        if vectorized and profile.cse_slots:
+            ref_slots += profile.cse_slots
+            cycles += (
+                profile.cse_slots * profile.points * machine.load_hit_cycles
+            )
         # Whole-region, statement-at-a-time execution streams every
         # operand through memory once per statement.
-        stream_bytes = profile.points * profile.ref_slots * ELEM_BYTES
+        stream_bytes = profile.points * ref_slots * ELEM_BYTES
         misses = (
-            profile.points * profile.ref_slots * line_fraction
+            profile.points * ref_slots * line_fraction
             if stream_bytes > llc.size
             else 0.0
         )

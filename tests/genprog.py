@@ -18,7 +18,12 @@ Programs exercise the surfaces the optimizer transforms:
 * sequential loops, including row sweeps over dynamic regions
   (``[i, 1..n]`` — the contraction-soundness frontier);
 * randomized config bounds, so region extents (and therefore tile
-  layouts) differ per program.
+  layouts) differ per program;
+* shared subexpressions reused across adjacent statements and repeated
+  shifted reads of the same stencil term (the redundancy-elimination
+  pass's hoisting and shift-canonicalization surfaces);
+* integer intrinsic calls (``min``/``max``/``abs`` over index
+  expressions and integer constants — the int-preserving fold paths).
 
 Every generated program ends by folding all array state into scalar
 ``t``, so backends are compared on every element even when a test only
@@ -55,15 +60,30 @@ class ProgramGenerator:
             self.rng.randint(-width, width),
         )
 
-    def array_ref(self) -> str:
-        name = self.rng.choice(ARRAYS)
-        off = self.offset()
+    def ref(self, name: str, off: tuple) -> str:
         if off == (0, 0):
             return name
         return "%s@(%d,%d)" % (name, off[0], off[1])
 
+    def array_ref(self) -> str:
+        return self.ref(self.rng.choice(ARRAYS), self.offset())
+
+    def int_call(self) -> str:
+        """An integer-kind intrinsic call (the int-preserving folds)."""
+        choice = self.rng.randint(0, 3)
+        if choice == 0:
+            return "min(Index1, Index2)"
+        if choice == 1:
+            return "max(Index2, %d)" % self.rng.randint(1, 3)
+        if choice == 2:
+            return "abs(Index1 - %d)" % self.rng.randint(1, 4)
+        return "min(%d, max(Index1, %d))" % (
+            self.rng.randint(3, 6),
+            self.rng.randint(1, 2),
+        )
+
     def expr(self, depth: int = 0) -> str:
-        choice = self.rng.randint(0, 6 if depth < 2 else 3)
+        choice = self.rng.randint(0, 7 if depth < 2 else 3)
         if choice == 0:
             return "%.2f" % self.rng.uniform(0.5, 4.0)
         if choice == 1:
@@ -72,6 +92,8 @@ class ProgramGenerator:
             return self.rng.choice(["Index1", "Index2", "s"])
         if choice == 3:
             return "sqrt(abs(%s) + 0.1)" % self.expr(depth + 1)
+        if choice == 4:
+            return self.int_call()
         op = self.rng.choice(["+", "-", "*"])
         return "(%s %s %s)" % (self.expr(depth + 1), op, self.expr(depth + 1))
 
@@ -89,6 +111,51 @@ class ProgramGenerator:
     def reduction_statement(self) -> str:
         op = self.rng.choice(["+", "max", "min"])
         return "  s := %s<< [R] %s;" % (op, self.rng.choice(ARRAYS))
+
+    def shared_term(self) -> str:
+        """A multi-op stencil term worth hoisting when it recurs."""
+        a = self.rng.choice(ARRAYS)
+        b = self.rng.choice(ARRAYS)
+        return "(%s + %s + %s)" % (
+            self.ref(a, self.offset(1)),
+            self.ref(a, self.offset(1)),
+            self.ref(b, self.offset(1)),
+        )
+
+    def shared_pair(self) -> list:
+        """Two statements reusing one term: the CSE hoisting surface."""
+        term = self.shared_term()
+        region = self.rng.choice(["R", "I"])
+        t1, t2 = self.rng.sample(ARRAYS, 2)
+        return [
+            "  [%s] %s := %s * %.2f;"
+            % (region, t1, term, self.rng.uniform(0.25, 2.0)),
+            "  [%s] %s := %s * %.2f + %s;"
+            % (region, t2, term, self.rng.uniform(0.25, 2.0),
+               self.rng.choice(ARRAYS)),
+        ]
+
+    def shifted_pair(self) -> list:
+        """Two statements reading one term at translated offsets: the
+        shift-canonicalization surface (recorded, never rewritten)."""
+        a = self.rng.choice(ARRAYS)
+        b = self.rng.choice(ARRAYS)
+        dr, dc = self.rng.randint(0, 1), self.rng.choice([-1, 1])
+        base = self.offset(1)
+        region = self.rng.choice(["R", "I"])
+        t1, t2 = self.rng.sample(ARRAYS, 2)
+        lines = []
+        for target, (sr, sc) in ((t1, (0, 0)), (t2, (dr, dc))):
+            lines.append(
+                "  [%s] %s := (%s + %s) * 0.5;"
+                % (
+                    region,
+                    target,
+                    self.ref(a, (base[0] + sr, base[1] + sc)),
+                    self.ref(b, (-base[0] + sr, -base[1] + sc)),
+                )
+            )
+        return lines
 
     def row_statement(self) -> str:
         """A dynamic-region statement for a row-sweep loop body."""
@@ -125,6 +192,10 @@ class ProgramGenerator:
 
         for _ in range(rng.randint(1, 7)):
             lines.append(self.statement())
+        if rng.random() < 0.5:
+            lines.extend(self.shared_pair())
+        if rng.random() < 0.35:
+            lines.extend(self.shifted_pair())
         if rng.random() < 0.5:
             lines.append(self.boundary_statement())
             for _ in range(rng.randint(0, 2)):

@@ -26,6 +26,7 @@ from repro.ir.linexpr import LinearExpr
 from repro.ir.region import Region
 from repro.ir import expr as ir
 from repro.scalarize import scalarize
+from repro.scalarize.codegen_c import render_c
 from repro.scalarize.codegen_np import render_numpy
 from repro.scalarize.codegen_py import render_python
 from repro.scalarize.loopnest import ElemAssign, LoopNest, SBoundary, ScalarProgram
@@ -72,6 +73,39 @@ def test_generated_mod_never_uses_fmod():
     _program, scalar_program = compile_at(MOD_SOURCE, BASELINE)
     assert "fmod" not in render_python(scalar_program)
     assert "fmod" not in render_numpy(scalar_program)
+
+
+def test_c_mod_emission_matches_golden():
+    # The C back end used to map ``mod`` straight to ``fmod`` (truncated,
+    # sign of the dividend); canonical semantics is floored ``np.mod``.
+    # Golden-pin the whole translation unit so the helper and its call
+    # sites cannot silently regress.
+    import os
+
+    _program, scalar_program = compile_at(MOD_SOURCE, BASELINE)
+    rendered = render_c(scalar_program)
+    golden_path = os.path.join(
+        os.path.dirname(__file__), "golden", "c_mod.golden.c"
+    )
+    with open(golden_path) as handle:
+        assert rendered == handle.read()
+
+
+def test_c_mod_is_floored_helper():
+    _program, scalar_program = compile_at(MOD_SOURCE, BASELINE)
+    rendered = render_c(scalar_program)
+    # fmod may appear only inside the floored-mod helper definition.
+    assert "repro_mod(" in rendered
+    for line in rendered.splitlines():
+        if "fmod" in line:
+            assert "double r = fmod(a, b);" in line
+    # The % binop and the mod intrinsic both route through the helper.
+    assert "repro_mod(t, 5.0)" in rendered
+
+
+def test_c_mod_helper_omitted_when_unused():
+    _program, scalar_program = compile_at(INT_REDUCE_SOURCE, BASELINE)
+    assert "repro_mod" not in render_c(scalar_program)
 
 
 # -- 2: reduction identities follow the reduced kind ------------------------

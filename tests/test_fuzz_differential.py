@@ -19,6 +19,7 @@ seeds themselves never change).
 """
 
 import os
+import re
 import sys
 
 import numpy as np
@@ -29,7 +30,12 @@ sys.path.insert(0, os.path.dirname(__file__))
 from genprog import generate_program  # noqa: E402
 
 from repro.exec import execute  # noqa: E402
-from repro.fusion import ALL_LEVELS, plan_program  # noqa: E402
+from repro.fusion import (  # noqa: E402
+    ALL_LEVELS,
+    CSE_TWINS,
+    LEVELS_BY_NAME,
+    plan_program,
+)
 from repro.interp import run_reference  # noqa: E402
 from repro.ir import normalize_source  # noqa: E402
 from repro.scalarize import scalarize  # noqa: E402
@@ -99,6 +105,42 @@ def test_fuzz_backends_agree_at_every_level(seed):
                     )
 
 
+@pytest.mark.parametrize("seed", range(FUZZ_COUNT))
+def test_fuzz_cse_bit_identical_to_twin(seed):
+    # Redundancy elimination reorders no arithmetic: it evaluates each
+    # hoisted term once, in the place of its first occurrence, and reuses
+    # the value.  The +cse levels must therefore be *bit-identical* to
+    # their non-CSE twins on every backend — allclose is not the bar.
+    source = generate_program(seed)
+    program = normalize_source(source)
+    for cse_name, base_name in CSE_TWINS.items():
+        cse_sp = scalarize(
+            program, plan_program(program, LEVELS_BY_NAME[cse_name])
+        )
+        base_sp = scalarize(
+            program, plan_program(program, LEVELS_BY_NAME[base_name])
+        )
+        for backend in BACKENDS:
+            cse_result = execute(cse_sp, backend)
+            base_result = execute(base_sp, backend)
+            where = "seed %d %s vs %s %s" % (seed, cse_name, base_name, backend)
+            for name, array in base_result.arrays.items():
+                if name.startswith("_"):
+                    continue
+                other = cse_result.arrays[name]
+                assert other.dtype == array.dtype, where
+                assert np.array_equal(
+                    other, array, equal_nan=True
+                ), "%s array %s\n%s" % (where, name, source)
+            for name in ("s", "t"):
+                # repr distinguishes -0.0 from 0.0 and is exact for
+                # float64: string equality here is bit equality (modulo
+                # NaN payloads, which no backend manufactures).
+                assert repr(float(cse_result.scalars[name])) == repr(
+                    float(base_result.scalars[name])
+                ), "%s scalar %s\n%s" % (where, name, source)
+
+
 def test_corpus_is_deterministic():
     # A seed is a stable address: the corpus must never drift between
     # runs, machines, or CI jobs, or failures stop being replayable.
@@ -116,3 +158,14 @@ def test_corpus_covers_optimizer_surfaces():
     assert any("for i := 2 to n do" in s for s in sources)
     assert any("@(-2" in s or "@(2" in s or ",2)" in s or ",-2)" in s
                for s in sources)
+    # Redundancy-elimination surfaces: repeated multi-op terms and
+    # integer intrinsic calls must keep appearing in the corpus.
+    assert any("min(Index1, Index2)" in s or "max(Index2," in s
+               or "abs(Index1 -" in s for s in sources)
+    stencil = re.compile(
+        r"\((?:[A-E](?:@\(-?\d,-?\d\))? \+ ){2}[A-E](?:@\(-?\d,-?\d\))?\)"
+    )
+    assert any(
+        any(terms.count(t) >= 2 for t in terms)
+        for terms in (stencil.findall(s) for s in sources)
+    )

@@ -6,11 +6,15 @@ from repro.fusion import (
     C1,
     C2,
     C2F3,
+    C2F3CSE,
     C2F4,
+    C2F4CSE,
+    CSE_TWINS,
     F1,
     F2,
     F3,
     LEVELS_BY_NAME,
+    PAPER_LEVELS,
     plan_block,
     plan_program,
 )
@@ -38,9 +42,12 @@ def plans():
 
 class TestLevelTable:
     def test_all_levels_registered(self):
-        assert len(ALL_LEVELS) == 8
+        assert len(ALL_LEVELS) == 10
         assert LEVELS_BY_NAME["baseline"] is BASELINE
         assert LEVELS_BY_NAME["c2+f3"] is C2F3
+        assert LEVELS_BY_NAME["c2+f3+cse"] is C2F3CSE
+        assert LEVELS_BY_NAME["c2+f4+cse"] is C2F4CSE
+        assert len(PAPER_LEVELS) == 8
 
     def test_level_flags_monotone(self):
         # Each level includes at least the transformations of its ancestor.
@@ -52,6 +59,22 @@ class TestLevelTable:
         assert C2.contract_user
         assert C2F3.fuse_locality
         assert C2F4.fuse_all
+
+    def test_cse_twins_differ_only_in_cse(self):
+        for cse_name, base_name in CSE_TWINS.items():
+            cse_level = LEVELS_BY_NAME[cse_name]
+            base_level = LEVELS_BY_NAME[base_name]
+            assert cse_level.cse and not base_level.cse
+            for flag in (
+                "fuse_compiler",
+                "fuse_user",
+                "contract_compiler",
+                "contract_user",
+                "fuse_locality",
+                "fuse_all",
+                "contract_partial",
+            ):
+                assert getattr(cse_level, flag) == getattr(base_level, flag)
 
 
 class TestPlans:

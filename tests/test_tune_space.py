@@ -98,6 +98,7 @@ class TestEnumeration:
     def test_default_space_covers_aggressive_fusion(self):
         space = default_space(level="c2", backend="codegen_np")
         assert "c2" in space.levels and "c2+f4" in space.levels
+        assert "c2+f4+cse" in space.levels
         assert "np-par" in space.backends
         assert "interp" not in space.backends
         assert all(w >= 1 for w in space.worker_counts)
@@ -200,3 +201,35 @@ end;
             _compile(PIPELINE % 256, BASELINE), Plan("baseline", "codegen_np")
         )
         assert base != unfused
+
+    def test_cse_traffic_charged_on_vectorized_backends(self):
+        from repro.fusion import LEVELS_BY_NAME
+
+        source = """
+program shared;
+config n : integer = 64;
+region R = [1..n, 1..n];
+region I = [2..n-1, 2..n-1];
+var A, B, C, D : [R] float;
+begin
+  [R] A := Index1 * 1.5 + Index2;
+  [I] B := (A@(0,-1) + A@(0,1) + A@(-1,0)) * 0.25;
+  [I] C := (A@(0,-1) + A@(0,1) + A@(-1,0)) * 0.75 + B;
+  [I] D := (A@(0,-1) + A@(0,1) + A@(-1,0)) * 0.5 - C;
+end;
+"""
+        cse_sp = _compile(source, LEVELS_BY_NAME["c2+f4+cse"])
+        base_sp = _compile(source, LEVELS_BY_NAME["c2+f4"])
+
+        def gain(backend):
+            return predict_cost(
+                base_sp, Plan("c2+f4", backend)
+            ) - predict_cost(cse_sp, Plan("c2+f4+cse", backend))
+
+        # Element backend: hoisting removes flops, the scalar is free.
+        assert gain("codegen_py") > 0
+        # Slice backend: the hoist materializes a region temporary, so
+        # the prior's traffic term must shrink the win relative to the
+        # element backend (identical per-point overheads cancel in the
+        # subtraction; only the flop savings and the temp charge remain).
+        assert gain("codegen_np") < gain("codegen_py")
