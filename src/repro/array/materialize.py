@@ -1,0 +1,168 @@
+"""Materialization: flush a traced graph through the serving stack.
+
+The flush is two-phase, and the first phase is the whole point:
+
+1. **Fingerprint without lowering.**  The trace's canonical encoding
+   (shapes + dtypes + op topology, no input values) is hashed with
+   ``fingerprint.trace_digest``.  That digest addresses the two-tier
+   artifact cache directly, so re-materializing the same program *shape*
+   — a training loop calling the same traced computation on new data —
+   never parses, lowers, fuses or renders anything: one compile for run
+   one, artifact-cache hits for runs 2..N.
+2. **Lower only on a miss.**  ``Service.compile_ir`` receives the
+   lowering as a thunk; the pipeline (fusion, contraction, CSE,
+   scalarization, codegen — unmodified) runs once per digest.
+
+Execution feeds traced inputs through the existing
+``Storage.seed_arrays`` / ``run(_inputs)`` path: each ``in<i>`` value is
+padded into its allocation region (declared region plus halo, halo
+zero-filled — that zero fill is what defines out-of-edge ``shift``
+reads), and each ``out<i>``/``res<i>`` result is sliced back to its
+declared shape.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.array.graph import Node, Trace
+from repro.array.lowering import lower_trace
+from repro.obs.tracer import NOOP_SPAN
+from repro.scalarize.emit_common import DTYPES
+from repro.util.errors import ReproError
+
+#: Defaults for the module-level service: maximum fusion on the
+#: vectorizing backend, persistent artifact cache (REPRO_CACHE_DIR).
+DEFAULT_LEVEL = "c2+f4"
+DEFAULT_BACKEND = "codegen_np"
+
+_default_service = None
+
+
+def default_service():
+    """The lazily created process-wide service used by implicit triggers."""
+    global _default_service
+    if _default_service is None:
+        from repro.service import Service
+
+        _default_service = Service(level=DEFAULT_LEVEL, backend=DEFAULT_BACKEND)
+    return _default_service
+
+
+def set_default_service(service) -> None:
+    """Replace the process-wide service (None resets to lazy default)."""
+    global _default_service
+    _default_service = service
+
+
+def _interior_slices(alloc_region, shape):
+    """Slices selecting the declared ``[1..s]`` region inside an allocation."""
+    bounds = alloc_region.concrete_bounds({})
+    return tuple(
+        slice(1 - lo, 1 - lo + extent)
+        for (lo, _hi), extent in zip(bounds, shape)
+    )
+
+
+def _pad_input(node: Node, alloc_region, kind: str) -> np.ndarray:
+    """The input value embedded in a zero-filled allocation-region buffer."""
+    bounds = alloc_region.concrete_bounds({})
+    alloc_shape = tuple(hi - lo + 1 for lo, hi in bounds)
+    buffer = np.zeros(alloc_shape, dtype=getattr(np, DTYPES[kind]))
+    buffer[_interior_slices(alloc_region, node.shape)] = node.payload
+    return buffer
+
+
+def compute_nodes(
+    nodes: Sequence[Node],
+    backend: Optional[str] = None,
+    level=None,
+    tune: object = False,
+    service=None,
+) -> List[object]:
+    """Materialize graph nodes; one fused program, results in slot order."""
+    from repro.service.service import _resolve_level
+
+    if service is None:
+        service = default_service()
+    tracer = service.tracer
+
+    record_cm = (
+        tracer.span("trace.record") if tracer.enabled else NOOP_SPAN
+    )
+    with record_cm as record_span:
+        trace = Trace(tuple(nodes))
+        canonical = trace.canonical()
+        if tune:
+            # The tuning DB is keyed by program text; the canonical trace
+            # encoding *is* this program's text.  A stored plan overrides
+            # level and backend, exactly like Service.compile(tune=).
+            tuned = service._tuned_plan(
+                json.dumps(canonical, sort_keys=True), None, tune
+            )
+            if tuned is not None:
+                level = tuned.level
+                backend = tuned.backend
+        level_name = _resolve_level(level, service.level.name).name
+        from repro.exec import get_backend
+
+        backend_name = get_backend(backend or service.backend).name
+        from repro.service import fingerprint
+
+        digest = fingerprint.trace_digest(
+            canonical,
+            level_name,
+            backend_name,
+            code_version=service.cache.code_version,
+        )
+        record_span.set("nodes", len(trace.order))
+        record_span.set("outputs", len(trace.outputs))
+        record_span.set("digest", digest)
+    service.metrics.incr("trace.materializations")
+
+    def build_ir():
+        lower_cm = (
+            tracer.span("trace.lower", digest=digest)
+            if tracer.enabled
+            else NOOP_SPAN
+        )
+        with lower_cm as lower_span, service.metrics.time("trace.lower"):
+            program = lower_trace(trace)
+            lower_span.set("statements", len(program.body))
+            lower_span.set("arrays", len(program.arrays))
+        return program
+
+    compiled = service.compile_ir(
+        build_ir, level=level_name, backend=backend_name, digest=digest
+    )
+
+    # Already-materialized values (same node, same digest) skip execution.
+    names = trace.output_names()
+    if all(node.cache.get(digest) is not None for node in trace.outputs):
+        return [node.cache[digest] for node in trace.outputs]
+
+    allocs = compiled.scalar_program.array_allocs
+    inputs: Dict[str, np.ndarray] = {}
+    for node in trace.inputs:
+        name = trace.input_name(node)
+        alloc = allocs.get(name)
+        if alloc is None:  # pragma: no cover - inputs are never contracted
+            raise ReproError("input %r missing from compiled allocation" % name)
+        inputs[name] = _pad_input(node, alloc[0], alloc[1])
+
+    result = compiled.execute({"arrays": inputs} if inputs else None)
+
+    values: List[object] = []
+    for node, name in zip(trace.outputs, names):
+        if node.is_array:
+            alloc_region, _kind = allocs[name]
+            raw = result.arrays[name]
+            value = raw[_interior_slices(alloc_region, node.shape)].copy()
+        else:
+            value = result.scalars[name]
+        node.cache[digest] = value
+        values.append(value)
+    return values

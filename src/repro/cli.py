@@ -32,6 +32,10 @@ Commands
     ``--out trace.json`` writes Chrome trace-event JSON loadable in
     Perfetto (https://ui.perfetto.dev).
 
+``backends``
+    List the registered execution back ends: canonical name, accepted
+    aliases, option hints, and description.
+
 ``stats``
     Inspect the on-disk artifact cache: entries, sizes, levels, backends.
     ``--format=json`` (default) or ``--format=prom`` (Prometheus text).
@@ -297,6 +301,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--cache-dir", default=None,
         help="cache root holding the tunedb (default: $REPRO_CACHE_DIR "
         "or .repro-cache)",
+    )
+
+    sub.add_parser(
+        "backends",
+        help="list registered execution back ends with aliases and options",
     )
 
     stats_parser = sub.add_parser(
@@ -648,6 +657,26 @@ def cmd_trace(args) -> int:
 STATS_FORMATS = ("json", "prom")
 
 
+def cmd_backends(args) -> int:
+    """List the execution-backend registry as an aligned table."""
+    from repro.exec import BACKENDS, aliases_of
+    from repro.util.tables import render_table
+
+    rows = []
+    for name in sorted(BACKENDS):
+        backend = BACKENDS[name]
+        rows.append(
+            (
+                backend.name,
+                ", ".join(aliases_of(name)) or "-",
+                backend.options or "-",
+                backend.description,
+            )
+        )
+    print(render_table(("backend", "aliases", "options", "description"), rows))
+    return 0
+
+
 def cmd_stats(args) -> int:
     import json
     import pickle
@@ -722,6 +751,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "serve": cmd_serve,
         "tune": cmd_tune,
         "trace": cmd_trace,
+        "backends": cmd_backends,
         "stats": cmd_stats,
         "figures": cmd_figures,
     }[args.command]

@@ -7,6 +7,7 @@ from repro.exec.backends import (
     Backend,
     ExecutionResult,
     InitialArrays,
+    aliases_of,
     execute,
     get_backend,
 )
@@ -18,6 +19,7 @@ __all__ = [
     "Backend",
     "ExecutionResult",
     "InitialArrays",
+    "aliases_of",
     "execute",
     "get_backend",
 ]

@@ -52,6 +52,9 @@ class Backend(NamedTuple):
     name: str
     description: str
     execute: Callable[..., ExecutionResult]
+    #: Human-readable hint for the keyword options this backend accepts
+    #: (shown by ``repro backends``); empty: positional inputs only.
+    options: str = ""
 
 
 def _run_interp(
@@ -107,7 +110,10 @@ BACKENDS: Dict[str, Backend] = {
         "codegen_np", "generated whole-region NumPy slices", _run_codegen_np
     ),
     "np-par": Backend(
-        "np-par", "tile-parallel NumPy sweeps on a worker pool", _run_np_par
+        "np-par",
+        "tile-parallel NumPy sweeps on a worker pool",
+        _run_np_par,
+        options="workers=N, tile_shape=N|NxM, engine=TileEngine",
     ),
 }
 
@@ -124,6 +130,13 @@ ALIASES: Dict[str, str] = {
 #: Canonical backend names only — aliases resolve to these but are not
 #: repeated here, so CLI help and error messages stay de-duplicated.
 BACKEND_CHOICES: List[str] = sorted(BACKENDS)
+
+
+def aliases_of(name: str) -> List[str]:
+    """The accepted alias spellings of a canonical backend name."""
+    return sorted(
+        alias for alias, target in ALIASES.items() if target == name
+    )
 
 
 def get_backend(name: str) -> Backend:
@@ -156,8 +169,13 @@ def execute(
     ``initial_arrays`` seeds named arrays with starting contents instead of
     zeros; values must match the allocation-region shape the backend would
     itself allocate (exactly what a previous run's result holds).
+    Unknown names, shape mismatches and unsafe dtype casts raise
+    :class:`repro.util.errors.InputError` before anything executes.
     Keyword ``options`` pass through to the backend (``np-par`` takes
     ``workers=``, ``tile_shape=`` or ``engine=``); backends reject
     options they do not understand.
     """
+    from repro.scalarize.emit_common import validate_inputs
+
+    initial_arrays = validate_inputs(program, initial_arrays)
     return get_backend(backend).execute(program, initial_arrays, **options)

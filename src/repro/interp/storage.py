@@ -15,7 +15,7 @@ import numpy as np
 
 from repro.ir.region import Region
 from repro.scalarize.emit_common import slice_start_stop
-from repro.util.errors import InterpError
+from repro.util.errors import InputError, InterpError
 
 _DTYPES = {"float": np.float64, "integer": np.int64, "boolean": np.bool_}
 
@@ -90,21 +90,30 @@ class Storage:
 
         Values must match the allocation-region shape (halo included) —
         exactly the layout :meth:`snapshot` returns, so one run's output
-        feeds the next run's input.  Contents are cast to the declared
-        element kind.
+        feeds the next run's input.  Contents must be safely castable to
+        the declared element kind; lossy casts raise instead of silently
+        truncating.
         """
         for name, value in initial.items():
             array = self.arrays.get(name)
             if array is None:
-                raise InterpError(
+                raise InputError(
                     "cannot seed unknown array %r (have: %s)"
                     % (name, ", ".join(sorted(self.arrays)))
                 )
             value = np.asarray(value)
             if value.shape != array.shape:
-                raise InterpError(
+                raise InputError(
                     "initial value for %r has shape %s, allocation needs %s"
                     % (name, value.shape, array.shape)
+                )
+            if value.dtype != array.dtype and not np.can_cast(
+                value.dtype, array.dtype, casting="safe"
+            ):
+                raise InputError(
+                    "initial value for %r has dtype %s, array is %s and "
+                    "the cast is not value-preserving"
+                    % (name, value.dtype, array.dtype)
                 )
             array[...] = value
 

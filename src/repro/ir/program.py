@@ -18,15 +18,24 @@ from repro.util.vectors import IntVector, max_abs_per_dim, zero
 class ArrayInfo:
     """Metadata for a declared (or compiler-introduced) array."""
 
-    __slots__ = ("name", "region", "elem_kind", "is_temp")
+    __slots__ = ("name", "region", "elem_kind", "is_temp", "is_output")
 
     def __init__(
-        self, name: str, region: Region, elem_kind: str, is_temp: bool = False
+        self,
+        name: str,
+        region: Region,
+        elem_kind: str,
+        is_temp: bool = False,
+        is_output: bool = False,
     ) -> None:
         self.name = name
         self.region = region
         self.elem_kind = elem_kind
         self.is_temp = is_temp
+        #: The array's final contents escape to a caller (the lazy
+        #: ``repro.array`` frontend returns them), so contraction must
+        #: never eliminate its storage even if no statement reads it.
+        self.is_output = is_output
 
     @property
     def rank(self) -> int:
@@ -156,8 +165,13 @@ class IRProgram:
 
         This is the whole-program side of contractibility: an array whose
         value escapes its basic block (read by a later block, a reduction, or
-        a different iteration structure) must keep its storage.
+        a different iteration structure) must keep its storage.  Declared
+        *output* arrays escape by definition — their final contents are
+        returned to a caller — so they are never confined.
         """
+        info = self.arrays.get(array)
+        if info is not None and info.is_output:
+            return False
         block_ids = {stmt.uid for stmt in block}
         for stmt in self.array_statements():
             touches = stmt.target == array or any(

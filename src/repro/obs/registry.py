@@ -88,6 +88,22 @@ SPANS: List[SpanDef] = [
         "Rendering backend source (Python / NumPy / tile-parallel NumPy).",
     ),
     SpanDef(
+        "trace.record",
+        ("nodes", "outputs", "digest"),
+        "array.materialize.compute_nodes",
+        "Capturing one repro.array expression graph: canonical encoding "
+        "plus the structural trace digest that addresses the artifact "
+        "cache (input values excluded).",
+    ),
+    SpanDef(
+        "trace.lower",
+        ("digest", "statements", "arrays"),
+        "array.materialize.compute_nodes",
+        "Lowering a traced graph to normalized IR (one statement per "
+        "traced op); runs only on an artifact-cache miss, nested inside "
+        "that compile span.",
+    ),
+    SpanDef(
         "execute",
         ("digest", "backend", "plan"),
         "CompiledProgram.execute",
@@ -141,6 +157,10 @@ COUNTERS: List[CounterDef] = [
         "plan.*",
         "Requests per serving plan id, e.g. plan.c2/np-par/w4/t32x1600.",
     ),
+    CounterDef(
+        "trace.materializations",
+        "repro.array graph flushes (compute() or an implicit trigger).",
+    ),
     CounterDef("par.sweeps", "Tile sweeps executed by the tile engine."),
     CounterDef("par.tiles", "Tiles executed across all sweeps."),
     CounterDef("par.serial_nests", "Nests that took the serial fallback."),
@@ -174,6 +194,10 @@ TIMERS: List[TimerDef] = [
         "Redundancy elimination (summed over blocks; +cse levels only).",
     ),
     TimerDef("compile.scalarize", "Loop-nest construction."),
+    TimerDef(
+        "trace.lower",
+        "repro.array graph-to-IR lowering (cache misses only).",
+    ),
     TimerDef("compile.codegen", "Backend source rendering."),
     TimerDef(
         "execute.*",

@@ -15,7 +15,7 @@ from typing import Dict, Mapping, Optional, Tuple
 
 from repro.ir import expr as ir
 from repro.ir.linexpr import LinearExpr
-from repro.util.errors import ScalarizationError
+from repro.util.errors import InputError, ScalarizationError
 
 #: Element-kind -> numpy dtype attribute name (matches interp.storage).
 DTYPES = {"float": "float64", "integer": "int64", "boolean": "bool_"}
@@ -157,6 +157,58 @@ def int_config_env(configs: Mapping[str, object]) -> Dict[str, int]:
         elif isinstance(value, float) and value.is_integer():
             env[name] = int(value)
     return env
+
+
+def validate_inputs(program, inputs):
+    """Check per-request initial arrays against a scalarized program.
+
+    Every backend shares one contract: a seeded value must name a real
+    (non-contracted) array, match its allocation-region shape exactly
+    (halo included — the layout an :class:`ExecutionResult` returns),
+    and carry a dtype safely castable to the declared element kind.
+    Violations raise :class:`repro.util.errors.InputError` (a
+    ``ReproError``) with the offending name spelled out, instead of a
+    raw numpy broadcast/cast surprise deep inside a generated kernel.
+
+    Returns the inputs as ndarrays, or None when ``inputs`` is None.
+    """
+    if inputs is None:
+        return None
+    import numpy as np
+
+    env = int_config_env(program.configs)
+    checked = {}
+    for name, value in inputs.items():
+        alloc = program.array_allocs.get(name)
+        if alloc is None:
+            raise InputError(
+                "cannot seed unknown array %r (have: %s)"
+                % (name, ", ".join(sorted(program.array_allocs)) or "none")
+            )
+        region, kind = alloc
+        value = np.asarray(value)
+        try:
+            bounds = region.concrete_bounds(env)
+        except Exception:
+            bounds = None  # dynamic allocation bounds: shape checked at run
+        if bounds is not None:
+            shape = tuple(max(hi - lo + 1, 1) for lo, hi in bounds)
+            if value.shape != shape:
+                raise InputError(
+                    "initial value for %r has shape %s, allocation needs %s"
+                    % (name, value.shape, shape)
+                )
+        dtype = np.dtype(DTYPES[kind])
+        if value.dtype != dtype and not np.can_cast(
+            value.dtype, dtype, casting="safe"
+        ):
+            raise InputError(
+                "initial value for %r has dtype %s, array is %s (%s) and "
+                "the cast is not value-preserving"
+                % (name, value.dtype, dtype, kind)
+            )
+        checked[name] = value
+    return checked
 
 
 def slice_start_stop(

@@ -158,6 +158,10 @@ class CompiledProgram:
         """
         backend_name = get_backend(backend or self.backend).name
         config, arrays = split_request(request)
+        if arrays is not None:
+            from repro.scalarize.emit_common import validate_inputs
+
+            arrays = validate_inputs(self.scalar_program, arrays)
         if config and config != {
             name: self.config.get(name) for name in config
         }:

@@ -156,12 +156,16 @@ def canonical_program(program: IRProgram) -> dict:
             for name, value in sorted(program.configs.items())
         ],
         "arrays": [
+            # The trailing "output" marker is appended only when set, so
+            # programs that predate it (every parsed mini-ZPL program)
+            # keep their historical digests.
             [
                 name,
                 canonical_region(info.region),
                 info.elem_kind,
                 bool(info.is_temp),
             ]
+            + (["output"] if getattr(info, "is_output", False) else [])
             for name, info in sorted(program.arrays.items())
         ],
         "scalars": [
@@ -228,6 +232,30 @@ def source_digest(
             "backend": backend,
             "self_temp_policy": self_temp_policy,
             "simplify": bool(simplify),
+            "code_version": code_version or CODE_VERSION,
+        }
+    )
+
+
+def trace_digest(
+    trace: dict,
+    level: str,
+    backend: str,
+    code_version: Optional[str] = None,
+) -> str:
+    """Content digest of a traced ``repro.array`` expression graph.
+
+    ``trace`` is the canonical encoding :meth:`repro.array.graph.Trace.canonical`
+    produces: shapes, dtypes and op topology only — input *values* are
+    deliberately excluded, so every execution of the same program shape
+    shares one address and hits the artifact cache without re-lowering.
+    """
+    return _digest_of(
+        {
+            "kind": "trace",
+            "trace": trace,
+            "level": level,
+            "backend": backend,
             "code_version": code_version or CODE_VERSION,
         }
     )

@@ -231,13 +231,68 @@ class Service:
             "tuned": tuned is not None,
         }
         digest = self.digest_for(source, level_obj, config, backend_name)
+        return self._serve(
+            digest,
+            plan,
+            lambda: self._build(source, level_obj, config, backend_name, digest),
+        )
+
+    def compile_ir(
+        self,
+        program: object,
+        level: Union[Level, str, None] = None,
+        backend: Optional[str] = None,
+        digest: Optional[str] = None,
+    ) -> CompiledProgram:
+        """Compile a prebuilt *normalized IR* program (or fetch its artifact).
+
+        ``program`` is an :class:`repro.ir.IRProgram` or a zero-argument
+        callable returning one.  The callable form is the tracing-frontend
+        fast path: callers that can address the artifact by their own
+        content digest (``fingerprint.trace_digest`` of a recorded
+        expression graph) pass it as ``digest`` and pay for lowering only
+        on a cache miss — a warm probe never builds the IR at all.
+
+        Identical to :meth:`compile` minus the normalize pass: cache
+        probe, single-flight build, per-pass spans, artifact persistence.
+        """
+        level_obj = _resolve_level(level, self.level.name)
+        backend_name = get_backend(backend or self.backend).name
+        if callable(program):
+            build_ir = program
+        else:
+            build_ir = lambda: program  # noqa: E731
+        if digest is None:
+            built = build_ir()
+            build_ir = lambda: built  # noqa: E731
+            digest = fingerprint.ir_digest(
+                built,
+                level_obj.name,
+                backend_name,
+                code_version=self.cache.code_version,
+            )
+        plan = {
+            "level": level_obj.name,
+            "backend": backend_name,
+            "workers": None,
+            "tile_shape": None,
+            "tuned": False,
+        }
+        return self._serve(
+            digest,
+            plan,
+            lambda: self._build_ir(build_ir, level_obj, backend_name, digest),
+        )
+
+    def _serve(self, digest, plan, build_payload) -> CompiledProgram:
+        """Cache probe + single-flight build, shared by every compile path."""
         tracer = self.tracer
         compile_cm = (
             tracer.span(
                 "compile",
                 digest=digest,
-                level=level_obj.name,
-                backend=backend_name,
+                level=plan["level"],
+                backend=plan["backend"],
             )
             if tracer.enabled
             else NOOP_SPAN
@@ -269,9 +324,7 @@ class Service:
                 return self._wrap(future.result(), from_cache=True, plan=plan)
             try:
                 self.metrics.incr("cache.misses")
-                payload = self._build(
-                    source, level_obj, config, backend_name, digest
-                )
+                payload = build_payload()
                 self.cache.put(digest, payload)
                 future.set_result(payload)
             except BaseException as error:
@@ -321,20 +374,54 @@ class Service:
                     from repro.ir import simplify_program
 
                     simplify_program(program)
-            # plan_program times compile.deps / compile.fusion internally.
-            plan = plan_program(program, level, timers=timers)
-            with timers.time("compile.scalarize"):
-                scalar_program = scalarize(program, plan)
-            code: Optional[str] = None
-            with timers.time("compile.codegen"):
-                if backend_name == "codegen_py":
-                    code = render_python(scalar_program)
-                elif backend_name == "codegen_np":
-                    code = render_numpy(scalar_program)
-                elif backend_name == "np-par":
-                    from repro.parallel.engine import render_numpy_par
+            scalar_program, code = self._plan_and_render(
+                program, level, backend_name, timers
+            )
+        return self._finish_build(
+            build, digest, level, config, backend_name, scalar_program, code
+        )
 
-                    code = render_numpy_par(scalar_program)
+    def _build_ir(
+        self,
+        build_ir,
+        level: Level,
+        backend_name: str,
+        digest: str,
+    ) -> Dict[str, object]:
+        """The miss path for :meth:`compile_ir`: no normalize pass."""
+        build = Metrics()
+        self.metrics.incr("service.compiles")
+        timers = TracedTimers(build, self.tracer if self.tracer.enabled else None)
+        with build.time("compile.total"):
+            program = build_ir()
+            scalar_program, code = self._plan_and_render(
+                program, level, backend_name, timers
+            )
+        return self._finish_build(
+            build, digest, level, None, backend_name, scalar_program, code
+        )
+
+    def _plan_and_render(self, program, level, backend_name, timers):
+        """Fuse, scalarize and render one normalized program."""
+        # plan_program times compile.deps / compile.fusion internally.
+        plan = plan_program(program, level, timers=timers)
+        with timers.time("compile.scalarize"):
+            scalar_program = scalarize(program, plan)
+        code: Optional[str] = None
+        with timers.time("compile.codegen"):
+            if backend_name == "codegen_py":
+                code = render_python(scalar_program)
+            elif backend_name == "codegen_np":
+                code = render_numpy(scalar_program)
+            elif backend_name == "np-par":
+                from repro.parallel.engine import render_numpy_par
+
+                code = render_numpy_par(scalar_program)
+        return scalar_program, code
+
+    def _finish_build(
+        self, build, digest, level, config, backend_name, scalar_program, code
+    ) -> Dict[str, object]:
         snapshot = build.snapshot()["timers"]
         timings = {
             name: stats["total_s"]

@@ -85,5 +85,15 @@ class InterpError(ReproError):
     """Raised on a runtime error in an interpreter."""
 
 
+class InputError(InterpError):
+    """Raised when per-request initial array contents are invalid.
+
+    Covers unknown array names, shape mismatches against the allocation
+    region, and dtype mismatches that cannot be cast safely.  Subclasses
+    :class:`InterpError` because the interpreter's storage historically
+    raised that for seeding errors and callers catch it.
+    """
+
+
 class MachineError(ReproError):
     """Raised on an invalid machine-model configuration."""

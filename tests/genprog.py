@@ -236,3 +236,224 @@ if __name__ == "__main__":  # pragma: no cover - debugging aid
     import sys
 
     print(generate_program(int(sys.argv[1]) if len(sys.argv) > 1 else 0))
+
+# -- dual emission: one seeded program, two frontends ----------------------
+
+#: Input arrays shared by both emissions of a dual program.
+DUAL_FLOAT_INPUTS = ("I0", "I1", "I2")
+DUAL_INT_INPUT = "K0"
+
+#: Scalar names folding the last temp on the ZPL side; the trace side
+#: materializes ``.sum()`` / ``.min()`` / ``.max()`` in the same order.
+DUAL_REDUCTIONS = (("t0", "+"), ("t1", "min"), ("t2", "max"))
+
+
+def _dual_zpl(expr) -> str:
+    """Render a dual expression tree as mini-ZPL text."""
+    tag = expr[0]
+    if tag == "const":
+        return repr(expr[1])  # repr round-trips float64 exactly
+    if tag == "iconst":
+        return "%d" % expr[1]
+    if tag == "ref":
+        _tag, name, axis, off = expr
+        if off == 0:
+            return name
+        return ("%s@(%d,0)" if axis == 1 else "%s@(0,%d)") % (name, off)
+    if tag == "index":
+        return "Index%d" % expr[1]
+    if tag == "sqrtabs":
+        return "sqrt(abs(%s) + 0.1)" % _dual_zpl(expr[1])
+    if tag == "call2":
+        return "%s(%s, %s)" % (expr[1], _dual_zpl(expr[2]), _dual_zpl(expr[3]))
+    return "(%s %s %s)" % (_dual_zpl(expr[2]), expr[1], _dual_zpl(expr[3]))
+
+
+def _dual_trace(expr, env, shape):
+    """Evaluate a dual expression tree as a lazy ``repro.array`` value.
+
+    ``env`` maps array names (inputs and earlier temps) to LazyArrays.
+    """
+    import repro.array as ra
+
+    tag = expr[0]
+    if tag in ("const", "iconst"):
+        return expr[1]
+    if tag == "ref":
+        _tag, name, axis, off = expr
+        value = env[name]
+        # ZPL ``A@(d,0)`` reads ``A[i+d, j]``: exactly ``shift(0, d)``.
+        return value if off == 0 else value.shift(axis - 1, off)
+    if tag == "index":
+        return ra.index(shape, expr[1])
+    if tag == "sqrtabs":
+        return ra.sqrt(abs(_dual_trace(expr[1], env, shape)) + 0.1)
+    if tag == "call2":
+        fn = ra.minimum if expr[1] == "min" else ra.maximum
+        return fn(_dual_trace(expr[2], env, shape),
+                  _dual_trace(expr[3], env, shape))
+    _tag, op, left, right = expr
+    left = _dual_trace(left, env, shape)
+    right = _dual_trace(right, env, shape)
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    return left * right
+
+
+class DualProgram:
+    """One generated program in both spellings, plus its input values.
+
+    ``zpl()`` is the mini-ZPL text (temp and reduction declarations carry
+    the kinds the trace infers, so neither side inserts a cast the other
+    does not).  ``traced()`` rebuilds the equivalent lazy-frontend graph
+    over the same inputs.  Both lower to the same per-element op DAG, so
+    every backend must agree *bit for bit* between the two emissions.
+    """
+
+    def __init__(self, seed, shape, statements, inputs):
+        self.seed = seed
+        self.shape = shape
+        #: Ordered SSA statements: (temp name, expression tree).
+        self.statements = statements
+        #: Array name -> concrete ndarray (float64 fields, one int64 field).
+        self.inputs = inputs
+
+    def traced(self):
+        """(temps, scalars): name -> LazyArray / LazyScalar over inputs."""
+        import repro.array as ra
+
+        env = {
+            name: ra.asarray(value) for name, value in self.inputs.items()
+        }
+        temps = {}
+        for name, expr in self.statements:
+            value = _dual_trace(expr, env, self.shape)
+            env[name] = temps[name] = value
+        last = temps[self.statements[-1][0]]
+        scalars = {}
+        for name, op in DUAL_REDUCTIONS:
+            scalars[name] = {
+                "+": last.sum, "min": last.min, "max": last.max
+            }[op]()
+        return temps, scalars
+
+    def zpl(self) -> str:
+        """The mini-ZPL twin, with declarations matching traced kinds."""
+        temps, scalars = self.traced()
+        n, m = self.shape
+        lines = [
+            "program dual%d;" % max(self.seed, 0),
+            "config n : integer = %d;" % n,
+            "config m : integer = %d;" % m,
+            "region R = [1..n, 1..m];",
+            "var %s : [R] float;" % ", ".join(DUAL_FLOAT_INPUTS),
+            "var %s : [R] integer;" % DUAL_INT_INPUT,
+        ]
+        for kind in ("float", "integer"):
+            names = [
+                name for name, _expr in self.statements
+                if temps[name].node.kind == kind
+            ]
+            if names:
+                lines.append("var %s : [R] %s;" % (", ".join(names), kind))
+        for name, _op in DUAL_REDUCTIONS:
+            lines.append("var %s : %s;" % (name, scalars[name].node.kind))
+        lines.append("begin")
+        for name, expr in self.statements:
+            lines.append("  [R] %s := %s;" % (name, _dual_zpl(expr)))
+        last = self.statements[-1][0]
+        for name, op in DUAL_REDUCTIONS:
+            lines.append("  %s := %s<< [R] %s;" % (name, op, last))
+        lines.append("end;")
+        return "\n".join(lines) + "\n"
+
+
+class DualProgramGenerator:
+    """Seeded generator for :class:`DualProgram` pairs.
+
+    Separate from :class:`ProgramGenerator` on purpose: that corpus must
+    stay byte-stable, and its constructs — interior regions, boundary
+    statements, sequential loops, dynamic row regions — have no frontend
+    spelling.  Dual programs are restricted to what both frontends can
+    say: full-region SSA definitions ``Tk := expr`` over the inputs and
+    earlier temps, single-axis reference offsets (``A@(d,0)`` /
+    ``A@(0,d)``, exactly ``LazyArray.shift(axis, d)``), and terminal
+    sum/min/max reductions of the last temp.  Mixed float/integer
+    subtrees still exercise the kind-inference parity between the two
+    paths.
+    """
+
+    def __init__(self, seed: int) -> None:
+        self.rng = random.Random("dual-%d" % seed)
+        self.seed = seed
+
+    def _ref(self, names) -> tuple:
+        return (
+            "ref",
+            self.rng.choice(names),
+            self.rng.randint(1, 2),
+            self.rng.randint(-2, 2),
+        )
+
+    def _expr(self, names, depth: int) -> tuple:
+        rng = self.rng
+        choice = rng.randint(0, 6 if depth < 2 else 2)
+        if choice == 0:
+            return ("const", round(rng.uniform(0.5, 4.0), 3))
+        if choice == 1:
+            return self._ref(names)
+        if choice == 2:
+            return ("index", rng.randint(1, 2))
+        if choice == 3:
+            return ("iconst", rng.randint(1, 4))
+        if choice == 4:
+            return ("sqrtabs", self._expr(names, depth + 1))
+        if choice == 5:
+            return (
+                "call2",
+                rng.choice(["min", "max"]),
+                self._expr(names, depth + 1),
+                self._expr(names, depth + 1),
+            )
+        return (
+            "bin",
+            rng.choice(["+", "-", "*"]),
+            self._expr(names, depth + 1),
+            self._expr(names, depth + 1),
+        )
+
+    def generate(self) -> DualProgram:
+        import numpy as np
+
+        rng = self.rng
+        shape = (rng.randint(4, 7), rng.randint(5, 8))
+        names = list(DUAL_FLOAT_INPUTS) + [DUAL_INT_INPUT]
+        statements = []
+        for k in range(1, rng.randint(3, 6) + 1):
+            # Root anchored on an array reference so the value is never
+            # scalar-only (the target is an array on both sides).
+            expr = (
+                "bin",
+                rng.choice(["+", "-", "*"]),
+                self._ref(names),
+                self._expr(names, 1),
+            )
+            name = "T%d" % k
+            statements.append((name, expr))
+            names.append(name)
+        values = np.random.default_rng(self.seed + 0x5EED)
+        inputs = {
+            name: values.uniform(-2.0, 3.0, size=shape)
+            for name in DUAL_FLOAT_INPUTS
+        }
+        inputs[DUAL_INT_INPUT] = values.integers(
+            0, 7, size=shape, dtype=np.int64
+        )
+        return DualProgram(self.seed, shape, statements, inputs)
+
+
+def generate_dual_program(seed: int) -> DualProgram:
+    """The deterministic dual (ZPL + trace) program for one fuzz seed."""
+    return DualProgramGenerator(seed).generate()

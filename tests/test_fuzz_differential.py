@@ -169,3 +169,145 @@ def test_corpus_covers_optimizer_surfaces():
         any(terms.count(t) >= 2 for t in terms)
         for terms in (stencil.findall(s) for s in sources)
     )
+
+
+# -- lazy-frontend differential: trace vs parsed twin ----------------------
+#
+# Each dual seed (``genprog.DualProgramGenerator``) is one program emitted
+# twice — as mini-ZPL text and as an equivalent ``repro.array`` trace over
+# the same input arrays.  Both lower to the same per-element op DAG, so
+# the bar is *bit identity* (dtype + np.array_equal), not allclose: any
+# drift means the frontend lowered an op differently than the parser.
+
+import repro.array as ra  # noqa: E402
+from genprog import DUAL_REDUCTIONS, generate_dual_program  # noqa: E402
+from repro.scalarize.emit_common import DTYPES, int_config_env  # noqa: E402
+
+#: Unoptimized (every temp observable) and maximally optimized.
+DUAL_LEVELS = ("baseline", "c2+f4+cse")
+
+_frontend_service_cache = []
+
+
+def _frontend_service():
+    if not _frontend_service_cache:
+        from repro.service import Service
+
+        _frontend_service_cache.append(Service(persistent=False))
+    return _frontend_service_cache[0]
+
+
+def _padded_inputs(scalar_program, inputs):
+    """Embed declared-region inputs into zero-filled allocation buffers."""
+    env = int_config_env(scalar_program.configs)
+    padded = {}
+    for name, value in inputs.items():
+        region, kind = scalar_program.array_allocs[name]
+        bounds = region.concrete_bounds(env)
+        buffer = np.zeros(
+            tuple(hi - lo + 1 for lo, hi in bounds),
+            dtype=getattr(np, DTYPES[kind]),
+        )
+        buffer[_interior(bounds, value.shape)] = value
+        padded[name] = buffer
+    return padded
+
+
+def _interior(bounds, shape):
+    return tuple(
+        slice(1 - lo, 1 - lo + extent)
+        for (lo, _hi), extent in zip(bounds, shape)
+    )
+
+
+@pytest.mark.parametrize("seed", range(FUZZ_COUNT))
+def test_fuzz_frontend_bit_identical_to_parsed_twin(seed):
+    dual = generate_dual_program(seed)
+    temps, scalars = dual.traced()
+    source = dual.zpl()
+    program = normalize_source(source)
+    service = _frontend_service()
+    for level_name in DUAL_LEVELS:
+        scalar_program = scalarize(
+            program, plan_program(program, LEVELS_BY_NAME[level_name])
+        )
+        padded = _padded_inputs(scalar_program, dual.inputs)
+        env = int_config_env(scalar_program.configs)
+        for backend in BACKENDS:
+            zpl = execute(scalar_program, backend, initial_arrays=padded)
+            where = "dual seed %d %s %s" % (seed, level_name, backend)
+            if level_name == "baseline":
+                # Every temp is observable: compare full arrays *and*
+                # the reduction scalars, through one fused frontend
+                # program (temps become outputs, disabling contraction
+                # on the frontend side too).
+                lazies = list(temps.values()) + list(scalars.values())
+                values = ra.compute(
+                    *lazies,
+                    backend=backend,
+                    level=level_name,
+                    service=service,
+                )
+                traced = dict(zip(list(temps) + list(scalars), values))
+                for name in temps:
+                    region, _kind = scalar_program.array_allocs[name]
+                    bounds = region.concrete_bounds(env)
+                    expected = zpl.arrays[name][
+                        _interior(bounds, dual.shape)
+                    ]
+                    actual = traced[name]
+                    assert actual.dtype == expected.dtype, (
+                        "%s array %s dtype %s != %s\n%s"
+                        % (where, name, actual.dtype, expected.dtype, source)
+                    )
+                    assert np.array_equal(actual, expected), (
+                        "%s array %s\n%s" % (where, name, source)
+                    )
+            else:
+                # Temps stay internal on the frontend side, so the
+                # optimizer contracts/fuses them exactly as it does the
+                # parsed program's.
+                values = ra.compute(
+                    *scalars.values(),
+                    backend=backend,
+                    level=level_name,
+                    service=service,
+                )
+                traced = dict(zip(scalars, values))
+            for name, _op in DUAL_REDUCTIONS:
+                actual = np.asarray(traced[name])
+                expected = np.asarray(zpl.scalars[name])
+                assert actual.dtype == expected.dtype, (
+                    "%s scalar %s dtype %s != %s\n%s"
+                    % (where, name, actual.dtype, expected.dtype, source)
+                )
+                assert np.array_equal(actual, expected), (
+                    "%s scalar %s: %r != %r\n%s"
+                    % (where, name, actual, expected, source)
+                )
+
+
+def test_dual_corpus_is_deterministic():
+    for seed in (0, 1, 17, FUZZ_COUNT - 1):
+        assert (
+            generate_dual_program(seed).zpl()
+            == generate_dual_program(seed).zpl()
+        )
+    assert generate_dual_program(0).zpl() != generate_dual_program(1).zpl()
+
+
+def test_dual_corpus_covers_frontend_surfaces():
+    sources = [generate_dual_program(seed).zpl() for seed in range(60)]
+    # Shifts on both axes, in both directions, wider than one element.
+    assert any("@(-2,0)" in s or "@(2,0)" in s for s in sources)
+    assert any("@(0,-2)" in s or "@(0,2)" in s for s in sources)
+    # Kind inference must keep producing integer temps (int-only
+    # subtrees over K0/Index/iconst) alongside float ones: after the K0
+    # declaration is dropped, an integer array declaration left over is
+    # a temp whose kind the trace inferred as integer.
+    assert any(
+        ": [R] integer;" in s.replace("var K0 : [R] integer;", "", 1)
+        for s in sources
+    )
+    assert any("min(" in s or "max(" in s for s in sources)
+    assert any("sqrt(abs(" in s for s in sources)

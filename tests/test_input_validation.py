@@ -1,0 +1,147 @@
+"""Per-request input validation: every seeding path, every error class.
+
+``Storage.seed_arrays``, ``exec.execute(initial_arrays=)`` and
+``CompiledProgram.execute({"arrays": ...})`` all validate caller-provided
+initial contents up front — unknown names, allocation-shape mismatches
+and lossy dtype casts raise :class:`repro.util.errors.InputError` (a
+``ReproError``) with an actionable message *before* anything executes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exec import execute
+from repro.fusion import LEVELS_BY_NAME, plan_program
+from repro.interp.storage import Storage
+from repro.ir import normalize_source
+from repro.ir.region import Region
+from repro.scalarize import scalarize
+from repro.service import Service
+from repro.util.errors import InputError, InterpError, ReproError
+
+SOURCE = """
+program seedme;
+config n : integer = 4;
+region R = [1..n, 1..n];
+var A, B : [R] float;
+var K : [R] integer;
+var t : float;
+begin
+  [R] B := A@(0,1) + K;
+  t := +<< [R] B;
+end;
+"""
+
+
+def _scalarized(level="c2"):
+    program = normalize_source(SOURCE)
+    return scalarize(program, plan_program(program, LEVELS_BY_NAME[level]))
+
+
+def _alloc_shape(scalar_program, name):
+    region, _kind = scalar_program.array_allocs[name]
+    return tuple(
+        hi - lo + 1 for lo, hi in region.concrete_bounds({"n": 4})
+    )
+
+
+def test_input_error_is_a_repro_error_and_an_interp_error():
+    # One exception class serves both the historical interp callers
+    # (which catch InterpError) and new frontend callers (ReproError).
+    assert issubclass(InputError, InterpError)
+    assert issubclass(InputError, ReproError)
+
+
+# -- Storage.seed_arrays ---------------------------------------------------
+
+
+def _storage():
+    storage = Storage()
+    storage.allocate_array(
+        "A", Region.literal((1, 4), (1, 4)), "float"
+    )
+    return storage
+
+
+def test_storage_rejects_unknown_name():
+    with pytest.raises(InputError, match="unknown array 'nope'.*have: A"):
+        _storage().seed_arrays({"nope": np.zeros((4, 4))})
+
+
+def test_storage_rejects_shape_mismatch():
+    with pytest.raises(
+        InputError, match=r"'A' has shape \(2, 2\), allocation needs \(4, 4\)"
+    ):
+        _storage().seed_arrays({"A": np.zeros((2, 2))})
+
+
+def test_storage_rejects_lossy_dtype_and_allows_safe_cast():
+    storage = _storage()
+    with pytest.raises(InputError, match="not value-preserving"):
+        storage.seed_arrays({"A": np.zeros((4, 4), dtype=np.complex128)})
+    # int64 -> float64 is safe on this platform's casting table and must
+    # be accepted (NumPy itself treats it as a same-kind widening).
+    storage.seed_arrays({"A": np.full((4, 4), 3, dtype=np.int64)})
+    assert storage.arrays["A"].dtype == np.float64
+    assert np.all(storage.arrays["A"] == 3.0)
+
+
+# -- exec.execute(initial_arrays=) ----------------------------------------
+
+
+@pytest.mark.parametrize(
+    "backend", ("interp", "codegen_py", "codegen_np", "np-par")
+)
+def test_execute_validates_before_running(backend):
+    scalar_program = _scalarized()
+    with pytest.raises(InputError, match="unknown array"):
+        execute(
+            scalar_program, backend,
+            initial_arrays={"missing": np.zeros((6, 6))},
+        )
+    shape = _alloc_shape(scalar_program, "A")
+    bad = tuple(extent + 1 for extent in shape)
+    with pytest.raises(InputError, match="allocation needs"):
+        execute(
+            scalar_program, backend, initial_arrays={"A": np.zeros(bad)}
+        )
+    with pytest.raises(InputError, match="not value-preserving"):
+        execute(
+            scalar_program, backend,
+            initial_arrays={
+                "K": np.zeros(_alloc_shape(scalar_program, "K"), dtype=float)
+            },
+        )
+
+
+def test_execute_accepts_valid_and_safely_cast_inputs():
+    scalar_program = _scalarized("baseline")  # keeps B observable
+    seeded = np.ones(_alloc_shape(scalar_program, "A"), dtype=np.int64)
+    result = execute(
+        scalar_program, "codegen_np", initial_arrays={"A": seeded}
+    )
+    # The float32 -> float64 widening path is also value-preserving.
+    result32 = execute(
+        scalar_program, "codegen_np",
+        initial_arrays={"A": seeded.astype(np.float32)},
+    )
+    assert np.array_equal(result.arrays["B"], result32.arrays["B"])
+    assert float(result.scalars["t"]) != 0.0
+
+
+# -- CompiledProgram.execute({"arrays": ...}) ------------------------------
+
+
+def test_compiled_program_validates_request_arrays():
+    service = Service(persistent=False)
+    compiled = service.compile(SOURCE, level="c2", backend="codegen_np")
+    with pytest.raises(InputError, match="unknown array 'zz'"):
+        compiled.execute({"arrays": {"zz": np.zeros((6, 6))}})
+    with pytest.raises(InputError, match="allocation needs"):
+        compiled.execute({"arrays": {"A": np.zeros((3, 3))}})
+    with pytest.raises(InputError, match="not value-preserving"):
+        shape = _alloc_shape(compiled.scalar_program, "K")
+        compiled.execute({"arrays": {"K": np.zeros(shape, dtype=float)}})
+    shape = _alloc_shape(compiled.scalar_program, "A")
+    result = compiled.execute({"arrays": {"A": np.full(shape, 2.0)}})
+    assert float(result.scalars["t"]) != 0.0
