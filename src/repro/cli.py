@@ -56,7 +56,12 @@ from repro.fusion import LEVELS_BY_NAME, C2P, plan_program
 from repro.ir import normalize_source
 from repro.machine import MACHINES_BY_NAME, estimate_sequential
 from repro.parallel import estimate_parallel
-from repro.scalarize import render_c, render_numpy, render_python, scalarize
+from repro.scalarize import (
+    render_c_module,
+    render_numpy,
+    render_python,
+    scalarize,
+)
 from repro.util.errors import ReproError
 
 _MACHINE_ALIASES = {
@@ -130,7 +135,8 @@ def _add_backend_argument(parser, default: str) -> None:
         metavar="{%s}" % ",".join(BACKEND_CHOICES),
         help="execution back end (case-insensitive; aliases: %s): loop "
         "interpreter, generated Python element loops, generated "
-        "whole-region NumPy, or tile-parallel NumPy sweeps"
+        "whole-region NumPy, tile-parallel NumPy sweeps, or "
+        "host-compiled C (needs a C compiler)"
         % ", ".join("%s=%s" % pair for pair in sorted(ALIASES.items())),
     )
 
@@ -373,7 +379,11 @@ def cmd_compile(args) -> int:
         return 0
     scalar_program = scalarize(program, plan)
     if args.emit == "c":
-        print(render_c(scalar_program), end="")
+        # The exact translation unit the c backend compiles: extern
+        # repro_run entry point over caller-owned buffers.  render_c
+        # (static storage + <prog>_main) stays available as a library
+        # call for self-contained inspection.
+        print(render_c_module(scalar_program), end="")
     elif args.emit == "np":
         print(render_numpy(scalar_program), end="")
     else:
@@ -660,20 +670,30 @@ STATS_FORMATS = ("json", "prom")
 def cmd_backends(args) -> int:
     """List the execution-backend registry as an aligned table."""
     from repro.exec import BACKENDS, aliases_of
+    from repro.exec.native import cc_available, find_cc
     from repro.util.tables import render_table
 
     rows = []
     for name in sorted(BACKENDS):
         backend = BACKENDS[name]
+        if name == "c":
+            available = "yes (%s)" % find_cc() if cc_available() else "no (no cc)"
+        else:
+            available = "yes"
         rows.append(
             (
                 backend.name,
                 ", ".join(aliases_of(name)) or "-",
+                available,
                 backend.options or "-",
                 backend.description,
             )
         )
-    print(render_table(("backend", "aliases", "options", "description"), rows))
+    print(
+        render_table(
+            ("backend", "aliases", "available", "options", "description"), rows
+        )
+    )
     return 0
 
 

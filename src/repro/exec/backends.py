@@ -23,6 +23,14 @@ Three ways to execute a scalarized program, one calling convention:
     Accepts ``workers=`` / ``tile_shape=`` options (or a prebuilt
     ``engine=``).
 
+``c`` (alias ``cc``, ``native``)
+    Host-compiled C (:mod:`repro.exec.native`): the fused loop nests
+    render as one translation unit, compile with the system ``cc`` and
+    run via ``ctypes`` — contracted arrays live in registers, not NumPy
+    temporaries.  Needs a C compiler on the machine; without one it
+    raises :class:`repro.util.errors.BackendUnavailableError` (probe
+    with :func:`repro.exec.native.cc_available`).
+
 All of them return an :class:`ExecutionResult`: plain dicts of final
 array and scalar state, directly comparable across back ends.
 """
@@ -101,6 +109,15 @@ def _run_np_par(
     return ExecutionResult(dict(arrays), dict(scalars))
 
 
+def _run_c(
+    program: ScalarProgram, initial_arrays: InitialArrays = None
+) -> ExecutionResult:
+    from repro.exec.native import execute_c
+
+    arrays, scalars = execute_c(program, inputs=initial_arrays)
+    return ExecutionResult(dict(arrays), dict(scalars))
+
+
 BACKENDS: Dict[str, Backend] = {
     "interp": Backend("interp", "tree-walking loop interpreter", _run_interp),
     "codegen_py": Backend(
@@ -115,6 +132,9 @@ BACKENDS: Dict[str, Backend] = {
         _run_np_par,
         options="workers=N, tile_shape=N|NxM, engine=TileEngine",
     ),
+    "c": Backend(
+        "c", "host-compiled C loop nests (cc + ctypes)", _run_c
+    ),
 }
 
 #: Historical and short spellings accepted wherever a backend is named.
@@ -125,6 +145,8 @@ ALIASES: Dict[str, str] = {
     "numpy": "codegen_np",
     "np_par": "np-par",
     "par": "np-par",
+    "cc": "c",
+    "native": "c",
 }
 
 #: Canonical backend names only — aliases resolve to these but are not

@@ -85,7 +85,15 @@ SPANS: List[SpanDef] = [
         "compile.codegen",
         (),
         "Service._build",
-        "Rendering backend source (Python / NumPy / tile-parallel NumPy).",
+        "Rendering backend source (Python / NumPy / tile-parallel NumPy / C).",
+    ),
+    SpanDef(
+        "compile.cc",
+        (),
+        "Service._compile_native",
+        "One host C-compiler invocation turning the rendered translation "
+        "unit into a shared object; build-path (cache-miss) only — warm "
+        "serves load the content-addressed .so without this span.",
     ),
     SpanDef(
         "trace.record",
@@ -147,6 +155,16 @@ COUNTERS: List[CounterDef] = [
         "On-disk artifacts dropped for stamp mismatch or corruption.",
     ),
     CounterDef("cache.write_errors", "Failed disk writes (degraded to memory)."),
+    CounterDef(
+        "cache.native_hits",
+        "Compiled .so artifacts served from the content-addressed store "
+        "(each one is a compiler invocation avoided).",
+    ),
+    CounterDef(
+        "native.cc_invocations",
+        "Host C-compiler runs performed (cold c-backend compiles only; "
+        "zero on a warm serve).",
+    ),
     CounterDef("service.compiles", "Cold compiles (misses that ran the pipeline)."),
     CounterDef("service.batches", "submit_many invocations."),
     CounterDef("execute.requests", "Requests executed by CompiledProgram."),
@@ -199,6 +217,10 @@ TIMERS: List[TimerDef] = [
         "repro.array graph-to-IR lowering (cache misses only).",
     ),
     TimerDef("compile.codegen", "Backend source rendering."),
+    TimerDef(
+        "compile.cc",
+        "Host C-compiler invocation (c backend, cache misses only).",
+    ),
     TimerDef(
         "execute.*",
         "Per-backend execution time, e.g. execute.codegen_np, "

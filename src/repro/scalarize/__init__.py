@@ -1,6 +1,12 @@
 """Scalarization: fusible clusters to loop nests, contraction to scalars."""
 
-from repro.scalarize.codegen_c import CGenerator, render_c
+from repro.scalarize.codegen_c import (
+    AbiEntry,
+    CGenerator,
+    c_abi,
+    render_c,
+    render_c_module,
+)
 from repro.scalarize.codegen_np import NumpyGenerator, execute_numpy, render_numpy
 from repro.scalarize.codegen_py import PyGenerator, execute_python, render_python
 from repro.scalarize.loopnest import (
@@ -24,7 +30,9 @@ from repro.scalarize.scalarizer import (
 )
 
 __all__ = [
+    "AbiEntry",
     "CGenerator",
+    "c_abi",
     "ElemAssign",
     "NumpyGenerator",
     "PyGenerator",
@@ -46,5 +54,6 @@ __all__ = [
     "contraction_scalar",
     "loop_variable",
     "render_c",
+    "render_c_module",
     "scalarize",
 ]

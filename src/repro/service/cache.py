@@ -12,6 +12,14 @@ miss and the file is deleted (a corrupted cache can only cost a
 recompile, never a wrong answer).  Writes are atomic (temp file +
 ``os.replace``) so concurrent services never observe torn artifacts.
 
+Native artifacts — shared objects the ``c`` backend compiled — are a
+second kind in the same store: ``<root>/<digest[:2]>/<digest>.so`` plus a
+JSON stamp sidecar ``<digest>.so.json`` recording schema, code version,
+digest and the SHA-256 of the object bytes.  The same self-invalidation
+discipline applies: any stamp or checksum mismatch deletes both files and
+reads as a miss, so a stale or torn ``.so`` costs one recompile, never a
+wrong (or crashing) kernel.
+
 The root defaults to ``.repro-cache/`` and is overridable with the
 ``REPRO_CACHE_DIR`` environment variable; the disk tier is size-bounded
 (``REPRO_CACHE_MAX_BYTES``, default 256 MiB) with oldest-first eviction.
@@ -19,6 +27,8 @@ The root defaults to ``.repro-cache/`` and is overridable with the
 
 from __future__ import annotations
 
+import hashlib
+import json
 import os
 import pickle
 import tempfile
@@ -115,11 +125,14 @@ class ArtifactCache:
     def clear(self) -> None:
         with self._memory_lock:
             self._memory.clear()
-        for path, _size, _mtime in self.disk_entries():
-            try:
-                os.remove(path)
-            except OSError:
-                pass
+        for path, _size, _mtime in self.disk_entries() + self.native_entries():
+            for victim in (
+                (path, path + ".json") if path.endswith(".so") else (path,)
+            ):
+                try:
+                    os.remove(victim)
+                except OSError:
+                    pass
 
     # -- memory tier -------------------------------------------------------
 
@@ -201,6 +214,113 @@ class ArtifactCache:
             return
         self._evict_disk()
 
+    # -- native (.so) artifacts --------------------------------------------
+
+    def _native_path(self, digest: str) -> str:
+        return os.path.join(self.root, digest[:2], digest + ".so")
+
+    def get_native(self, digest: str) -> Optional[str]:
+        """Path to a verified cached shared object, or None on miss.
+
+        Returns a filesystem path (not bytes): the caller hands it
+        straight to ``dlopen``, so the file must stay on disk.  The JSON
+        stamp sidecar is verified on every load — schema, code version,
+        digest and the SHA-256 of the object bytes — and any mismatch
+        deletes both files and reads as a miss.
+        """
+        if not self.persistent:
+            return None
+        path = self._native_path(digest)
+        stamp_path = path + ".json"
+        try:
+            with open(stamp_path, "r") as handle:
+                stamp = json.load(handle)
+            with open(path, "rb") as handle:
+                so_bytes = handle.read()
+            if (
+                not isinstance(stamp, dict)
+                or stamp.get("schema") != ARTIFACT_SCHEMA
+                or stamp.get("code_version") != self.code_version
+                or stamp.get("digest") != digest
+                or stamp.get("sha256") != hashlib.sha256(so_bytes).hexdigest()
+            ):
+                raise ValueError("native artifact stamp mismatch")
+            os.utime(path, None)
+            self.metrics.incr("cache.native_hits")
+            return path
+        except FileNotFoundError:
+            return None
+        except Exception:
+            self.metrics.incr("cache.invalid_artifacts")
+            for victim in (path, stamp_path):
+                try:
+                    os.remove(victim)
+                except OSError:
+                    pass
+            return None
+
+    def put_native(self, digest: str, so_bytes: bytes) -> Optional[str]:
+        """Store compiled shared-object bytes; returns the stored path.
+
+        Non-persistent caches return None — the native runner's
+        per-process scratch directory covers that mode.  Both the object
+        and its stamp are written atomically, object first, so a crash
+        between the two leaves an unstamped ``.so`` that reads as a miss.
+        """
+        if not self.persistent:
+            return None
+        path = self._native_path(digest)
+        stamp = {
+            "schema": ARTIFACT_SCHEMA,
+            "code_version": self.code_version,
+            "digest": digest,
+            "sha256": hashlib.sha256(so_bytes).hexdigest(),
+        }
+        try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            for target, data, mode in (
+                (path, so_bytes, "wb"),
+                (path + ".json", json.dumps(stamp, sort_keys=True), "w"),
+            ):
+                fd, tmp = tempfile.mkstemp(
+                    dir=os.path.dirname(path), suffix=".tmp"
+                )
+                try:
+                    with os.fdopen(fd, mode) as handle:
+                        handle.write(data)
+                    os.replace(tmp, target)
+                except BaseException:
+                    try:
+                        os.remove(tmp)
+                    except OSError:
+                        pass
+                    raise
+        except OSError:
+            self.metrics.incr("cache.write_errors")
+            return None
+        self._evict_disk()
+        return path
+
+    def native_entries(self) -> List[Tuple[str, int, float]]:
+        """All stored shared objects as ``(path, bytes, mtime)``."""
+        entries: List[Tuple[str, int, float]] = []
+        if not os.path.isdir(self.root):
+            return entries
+        for shard in sorted(os.listdir(self.root)):
+            shard_dir = os.path.join(self.root, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for name in sorted(os.listdir(shard_dir)):
+                if not name.endswith(".so"):
+                    continue
+                path = os.path.join(shard_dir, name)
+                try:
+                    stat = os.stat(path)
+                except OSError:
+                    continue
+                entries.append((path, stat.st_size, stat.st_mtime))
+        return entries
+
     def disk_entries(self) -> List[Tuple[str, int, float]]:
         """All stored artifact files as ``(path, bytes, mtime)``."""
         entries: List[Tuple[str, int, float]] = []
@@ -224,7 +344,7 @@ class ArtifactCache:
     def _evict_disk(self) -> None:
         if self.max_bytes <= 0:
             return
-        entries = self.disk_entries()
+        entries = self.disk_entries() + self.native_entries()
         total = sum(size for _path, size, _mtime in entries)
         if total <= self.max_bytes:
             return
@@ -233,6 +353,11 @@ class ArtifactCache:
                 os.remove(path)
             except OSError:
                 continue
+            if path.endswith(".so"):
+                try:
+                    os.remove(path + ".json")
+                except OSError:
+                    pass
             self.metrics.incr("cache.disk_evictions")
             total -= size
             if total <= self.max_bytes:
@@ -242,6 +367,7 @@ class ArtifactCache:
 
     def stats(self) -> Dict[str, object]:
         entries = self.disk_entries() if self.persistent else []
+        native = self.native_entries() if self.persistent else []
         return {
             "root": self.root,
             "persistent": self.persistent,
@@ -250,5 +376,7 @@ class ArtifactCache:
             "memory_limit": self.memory_entries,
             "disk_entries": len(entries),
             "disk_bytes": sum(size for _p, size, _m in entries),
+            "native_entries": len(native),
+            "native_bytes": sum(size for _p, size, _m in native),
             "disk_limit_bytes": self.max_bytes,
         }

@@ -66,8 +66,13 @@ class CompiledProgram:
         engine=None,
         plan: Optional[Dict[str, object]] = None,
         tracer=None,
+        cache=None,
     ) -> None:
         self._payload = payload
+        #: Optional :class:`repro.service.cache.ArtifactCache`; lets the
+        #: ``c`` backend reuse content-addressed ``.so`` artifacts
+        #: instead of re-invoking the compiler.
+        self._cache = cache
         self.metrics = metrics or Metrics()
         #: Optional :class:`repro.obs.Tracer`; every ``execute`` records
         #: an ``execute`` span when it is present and enabled.
@@ -91,6 +96,8 @@ class CompiledProgram:
         self._lock = threading.Lock()
         #: backend name -> compiled ``run`` callable (codegen backends).
         self._runners: Dict[str, Callable] = {}
+        #: Loaded native kernel (``c`` backend), memoized per instance.
+        self._native_kernel_obj = None
 
     # -- payload views -----------------------------------------------------
 
@@ -190,6 +197,15 @@ class CompiledProgram:
                 else:
                     raw_arrays, raw_scalars = runner(arrays)
                 result = ExecutionResult(dict(raw_arrays), dict(raw_scalars))
+            elif backend_name == "c":
+                from repro.exec import native
+                from repro.scalarize.codegen_c import c_abi
+
+                kernel = self._native_kernel()
+                raw_arrays, raw_scalars = native.run_kernel(
+                    kernel, c_abi(self.scalar_program), arrays
+                )
+                result = ExecutionResult(dict(raw_arrays), dict(raw_scalars))
             else:
                 result = get_backend(backend_name).execute(
                     self.scalar_program, arrays
@@ -231,6 +247,68 @@ class CompiledProgram:
         with self._lock:
             self._runners[backend_name] = runner
         return runner
+
+    # -- native kernel memoization ----------------------------------------
+
+    def _native_kernel(self):
+        """The loaded ``.so`` for this artifact, reusing every cache tier.
+
+        Resolution order: this instance's memo, the per-process kernel
+        memo, the content-addressed ``.so`` artifact cache (a warm serve
+        performs *zero* compiler invocations), and only then the host
+        ``cc`` — with the resulting shared object stored back into the
+        artifact cache for the next process.
+        """
+        with self._lock:
+            kernel = self._native_kernel_obj
+        if kernel is not None:
+            return kernel
+        from repro.exec import native
+        from repro.util.errors import BackendUnavailableError
+
+        cc = native.find_cc()
+        if cc is None:
+            raise BackendUnavailableError(
+                "the c backend needs a host C compiler "
+                "(cc, gcc or clang on PATH, or REPRO_CC=/path/to/cc)"
+            )
+        source = self.code if self.backend == "c" else None
+        if source is None:
+            # Cross-backend execution of an artifact rendered for another
+            # backend: render the translation unit on first use.
+            from repro.scalarize.codegen_c import render_c_module
+
+            with self.metrics.time("compile.codegen"):
+                source = render_c_module(self.scalar_program)
+        kernel = native.cached_kernel(source, cc)
+        if kernel is None:
+            kernel = self._load_or_compile_native(source, cc)
+            native.remember_kernel(source, cc, kernel)
+        with self._lock:
+            self._native_kernel_obj = kernel
+        return kernel
+
+    def _load_or_compile_native(self, source: str, cc: str):
+        from repro.exec import native
+        from repro.service import fingerprint
+
+        native_key = None
+        if self._cache is not None:
+            native_key = fingerprint.native_digest(
+                self.digest,
+                native.compiler_identity(cc),
+                native.DEFAULT_CFLAGS,
+                code_version=self._cache.code_version,
+            )
+            so_path = self._cache.get_native(native_key)
+            if so_path is not None:
+                return native.NativeKernel(so_path)
+        with self.metrics.time("compile.cc"):
+            so_bytes = native.compile_shared(source, cc)
+        self.metrics.incr("native.cc_invocations")
+        if self._cache is not None and native_key is not None:
+            self._cache.put_native(native_key, so_bytes)
+        return native.load_kernel(so_bytes)
 
     def __repr__(self) -> str:
         return "CompiledProgram(%s, level=%s, backend=%s%s)" % (

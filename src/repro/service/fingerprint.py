@@ -44,7 +44,7 @@ from repro.util.errors import ReproError
 
 #: Stamped into every digest and artifact; bump on any change to the
 #: compiler, the generated code, or the artifact layout.
-CODE_VERSION = "repro-%s/artifact-2" % __version__
+CODE_VERSION = "repro-%s/artifact-3" % __version__
 
 
 # -- canonical encodings ----------------------------------------------------
@@ -256,6 +256,32 @@ def trace_digest(
             "trace": trace,
             "level": level,
             "backend": backend,
+            "code_version": code_version or CODE_VERSION,
+        }
+    )
+
+
+def native_digest(
+    payload_digest: str,
+    compiler: str,
+    flags,
+    code_version: Optional[str] = None,
+) -> str:
+    """Content digest of a compiled native shared object.
+
+    Extends the artifact ``payload_digest`` (which already covers the
+    program, level, config and backend) with the *compiler identity* and
+    the exact flag vector: upgrading the system compiler or changing
+    ``DEFAULT_CFLAGS`` must re-key every cached ``.so``, because the
+    machine code they would produce differs.  Computed at use time — the
+    compiler is a property of the machine, not of the program.
+    """
+    return _digest_of(
+        {
+            "kind": "native",
+            "payload": payload_digest,
+            "compiler": compiler,
+            "flags": list(flags),
             "code_version": code_version or CODE_VERSION,
         }
     )

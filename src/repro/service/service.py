@@ -26,7 +26,12 @@ from repro.exec import ExecutionResult, get_backend
 from repro.fusion import C2P, LEVELS_BY_NAME, Level, plan_program
 from repro.ir import normalize_source
 from repro.obs.tracer import NOOP_SPAN, TracedTimers, resolve_tracer
-from repro.scalarize import render_numpy, render_python, scalarize
+from repro.scalarize import (
+    render_c_module,
+    render_numpy,
+    render_python,
+    scalarize,
+)
 from repro.service import fingerprint
 from repro.service.cache import ArtifactCache
 from repro.service.compiled import CompiledProgram, Request, split_request
@@ -40,6 +45,7 @@ COMPILE_PASSES = (
     "compile.fusion",
     "compile.scalarize",
     "compile.codegen",
+    "compile.cc",
 )
 
 
@@ -351,6 +357,7 @@ class Service:
             engine=engine,
             plan=plan,
             tracer=self.tracer,
+            cache=self.cache,
         )
 
     def _build(
@@ -377,6 +384,8 @@ class Service:
             scalar_program, code = self._plan_and_render(
                 program, level, backend_name, timers
             )
+            if backend_name == "c" and code is not None:
+                self._compile_native(digest, code, timers)
         return self._finish_build(
             build, digest, level, config, backend_name, scalar_program, code
         )
@@ -397,6 +406,8 @@ class Service:
             scalar_program, code = self._plan_and_render(
                 program, level, backend_name, timers
             )
+            if backend_name == "c" and code is not None:
+                self._compile_native(digest, code, timers)
         return self._finish_build(
             build, digest, level, None, backend_name, scalar_program, code
         )
@@ -417,7 +428,43 @@ class Service:
                 from repro.parallel.engine import render_numpy_par
 
                 code = render_numpy_par(scalar_program)
+            elif backend_name == "c":
+                code = render_c_module(scalar_program)
         return scalar_program, code
+
+    def _compile_native(self, digest: str, code: str, timers) -> None:
+        """Eagerly compile a ``c`` artifact's translation unit.
+
+        Runs on the build (miss) path only, so the ``compile.cc`` span
+        and ``native.cc_invocations`` counter measure exactly the cold
+        cost a warm serve avoids.  The shared object lands in the
+        content-addressed cache keyed by :func:`fingerprint.native_digest`
+        (payload digest x compiler identity x flags); the per-process
+        kernel memo is primed so this service never recompiles either.
+        Machines without a C compiler skip silently — execution raises
+        ``BackendUnavailableError`` there, but the rendered C in the
+        payload stays inspectable and cacheable.
+        """
+        from repro.exec import native
+
+        cc = native.find_cc()
+        if cc is None:
+            return
+        native_key = fingerprint.native_digest(
+            digest,
+            native.compiler_identity(cc),
+            native.DEFAULT_CFLAGS,
+            code_version=self.cache.code_version,
+        )
+        if self.cache.get_native(native_key) is not None:
+            return
+        if native.cached_kernel(code, cc) is not None:
+            return
+        with timers.time("compile.cc"):
+            so_bytes = native.compile_shared(code, cc)
+        self.metrics.incr("native.cc_invocations")
+        self.cache.put_native(native_key, so_bytes)
+        native.remember_kernel(code, cc, native.load_kernel(so_bytes))
 
     def _finish_build(
         self, build, digest, level, config, backend_name, scalar_program, code

@@ -70,11 +70,19 @@ PER_POINT_OVERHEAD_CYCLES = {
     "codegen_py": 400.0,
     "codegen_np": 0.0,
     "np-par": 0.0,
+    "c": 0.0,
 }
 
 #: Fixed per-statement cost of one whole-region NumPy operation
 #: (ufunc/slicing overhead), in microseconds.
 VECTOR_STMT_OVERHEAD_US = 2.0
+
+#: One host-compiler invocation, amortized: the ``c`` backend pays a
+#: cold ``cc`` run (tens of milliseconds) whose shared object is then
+#: cached content-addressed, so the prior spreads it over an assumed
+#: request volume instead of charging it to a single execution.
+NATIVE_COMPILE_US = 80_000.0
+NATIVE_COMPILE_AMORTIZATION = 200
 
 #: Estimated trip count for loops whose bounds the prior cannot evaluate
 #: statically (runtime-computed scalars, while loops).
@@ -180,8 +188,17 @@ def default_space(
     Row-band shapes tailored to the program's sweeps are added by
     :func:`tile_shapes_for`.
     """
+    from repro.exec.native import cc_available
+
     levels = tuple(dict.fromkeys([level, "c2+f4", "c2+f4+cse"]))
-    backends = tuple(dict.fromkeys([backend, "codegen_np", "np-par", "codegen_py"]))
+    candidates = [backend, "codegen_np", "np-par", "codegen_py"]
+    # The native backend joins the space only on machines that can
+    # actually compile it; degraded hosts never see it as a candidate.
+    if cc_available():
+        candidates.append("c")
+    elif backend == "c":
+        candidates[0] = "codegen_np"
+    backends = tuple(dict.fromkeys(candidates))
     return PlanSpace(
         levels=levels,
         backends=backends,
@@ -477,6 +494,13 @@ def predict_cost(
         extra_us = 0.0
         if vectorized:
             extra_us += profile.statements * VECTOR_STMT_OVERHEAD_US
+        if plan.backend == "c":
+            # Amortized share of the one-time cc invocation (cached
+            # cross-process afterwards); spread across the nests so the
+            # whole program is charged one compile, not one per nest.
+            extra_us += NATIVE_COMPILE_US / (
+                NATIVE_COMPILE_AMORTIZATION * max(1, len(profiles))
+            )
         us_serial = machine.cycles_to_us(cycles + misses * llc.miss_penalty)
         if (
             plan.backend == "np-par"

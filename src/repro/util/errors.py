@@ -97,3 +97,21 @@ class InputError(InterpError):
 
 class MachineError(ReproError):
     """Raised on an invalid machine-model configuration."""
+
+
+class BackendUnavailableError(ReproError):
+    """Raised when a backend cannot run on this machine.
+
+    The ``c`` backend needs a host C compiler; on machines without one it
+    stays registered (so ``repro backends`` can list and mark it) but any
+    attempt to execute raises this, and the tuner excludes it from the
+    plan space silently.
+    """
+
+
+class NativeCompileError(ReproError):
+    """Raised when the host C compiler rejects a generated translation unit.
+
+    Carries the compiler's stderr: a generated TU failing to compile is a
+    code-generator bug, and the diagnostic is the evidence.
+    """

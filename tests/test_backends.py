@@ -35,8 +35,10 @@ def scalar_program():
 
 
 def test_registry_names_and_aliases():
-    assert set(BACKENDS) == {"interp", "codegen_py", "codegen_np", "np-par"}
+    assert set(BACKENDS) == {"interp", "codegen_py", "codegen_np", "np-par", "c"}
     assert get_backend("codegen").name == "codegen_py"
+    assert get_backend("cc").name == "c"
+    assert get_backend("native").name == "c"
     assert get_backend("py").name == "codegen_py"
     assert get_backend("np").name == "codegen_np"
     assert get_backend("numpy").name == "codegen_np"

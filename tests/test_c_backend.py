@@ -1,0 +1,457 @@
+"""The native ``c`` backend: ABI, caching, degradation, and goldens.
+
+What is covered here and nowhere else:
+
+* the ``repro_run(void **bufs)`` entry-point ABI and its buffer order
+  (:func:`repro.scalarize.codegen_c.c_abi`);
+* input validation at the backend boundary (the same ``InputError``
+  contract every other backend honors);
+* empty-region reduction guards — statically empty regions and
+  config-bound regions that become empty at a given binding both raise
+  the interpreter's ``InterpError``, not undefined C behavior;
+* typed reduction initializers: every (op, element-kind) pair folds
+  with an initializer of the accumulator's own type (the old emitter
+  seeded integer reductions from float literals);
+* cross-process ``.so`` reuse: the second process serves the compiled
+  shared object from the content-addressed artifact cache with **zero**
+  compiler invocations;
+* graceful degradation without a host C compiler (``REPRO_CC=""``):
+  execution raises ``BackendUnavailableError``, the tuner drops the
+  backend from its search space, the CLI marks it unavailable — and
+  compilation of the *artifact* still succeeds (the rendered C stays
+  inspectable);
+* golden-pinned translation units for every benchsuite program.
+
+Bit-level agreement across the whole corpus lives in
+``test_fuzz_differential.py``; this file owns the plumbing.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from repro import benchsuite  # noqa: E402
+from repro.exec import execute  # noqa: E402
+from repro.exec.native import cc_available, find_cc  # noqa: E402
+from repro.fusion import LEVELS_BY_NAME, plan_program  # noqa: E402
+from repro.interp import run_reference  # noqa: E402
+from repro.ir import normalize_source  # noqa: E402
+from repro.scalarize import c_abi, render_c_module, scalarize  # noqa: E402
+from repro.util.errors import (  # noqa: E402
+    BackendUnavailableError,
+    InputError,
+)
+
+needs_cc = pytest.mark.skipif(
+    not cc_available(), reason="no host C compiler"
+)
+
+SRC_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+
+
+def compile_at(source, level="baseline"):
+    program = normalize_source(source)
+    plan = plan_program(program, LEVELS_BY_NAME[level])
+    return program, scalarize(program, plan)
+
+
+BASIC_SOURCE = """program basic;
+config n : integer = 6;
+region R = [1..n, 1..n];
+region I = [2..n-1, 2..n-1];
+var B, A : [R] float;
+var t, s : float;
+begin
+  [R] A := Index1 * 1.5 + Index2;
+  [I] B := A@(1,0) + A@(-1,0);
+  s := max<< [R] B;
+  t := s + 1.0;
+end;
+"""
+
+
+# -- ABI ---------------------------------------------------------------------
+
+
+def test_abi_orders_arrays_then_scalars():
+    _program, sp = compile_at(BASIC_SOURCE)
+    abi = c_abi(sp)
+    arrays = [e for e in abi if e.role == "array"]
+    scalars = [e for e in abi if e.role == "scalar"]
+    # Arrays sorted by name first, then scalars sorted by name: the
+    # buffer vector's order is part of the ABI and must never depend on
+    # declaration order.
+    assert abi == arrays + scalars
+    assert [e.name for e in arrays] == sorted(e.name for e in arrays)
+    assert [e.name for e in scalars] == sorted(e.name for e in scalars)
+    # Shapes are allocation-region shapes (halo included: the stencil on
+    # A widens its buffer beyond the declared [1..6, 1..6]).
+    from repro.scalarize.emit_common import int_config_env
+
+    env = int_config_env(sp.configs)
+    for entry in arrays:
+        region, kind = sp.array_allocs[entry.name]
+        bounds = region.concrete_bounds(env)
+        assert entry.kind == kind
+        assert entry.shape == tuple(
+            max(hi - lo + 1, 1) for lo, hi in bounds
+        )
+    a = next(e for e in arrays if e.name == "A")
+    assert a.kind == "float" and a.shape[1] == 6
+    assert {e.name for e in scalars} >= {"s", "t"}
+
+
+def test_module_exposes_repro_run_entry_point():
+    _program, sp = compile_at(BASIC_SOURCE)
+    code = render_c_module(sp)
+    assert "int repro_run(void **_bufs)" in code
+    # Zero-copy: every array buffer is cast to a pointer-to-row type.
+    assert "(double (*)[6]) _bufs[" in code
+
+
+# -- execution and validation ------------------------------------------------
+
+
+@needs_cc
+def test_c_matches_reference_and_py():
+    program, sp = compile_at(BASIC_SOURCE, "c2+f4+cse")
+    reference = run_reference(program)
+    c = execute(sp, "c")
+    py = execute(sp, "codegen_py")
+    # A is contracted away at this level; B must survive as output state.
+    assert "B" in c.arrays
+    for name, arr in c.arrays.items():
+        if name in reference.arrays:
+            assert np.allclose(arr, reference.arrays[name])
+        assert arr.dtype == py.arrays[name].dtype
+        assert np.array_equal(arr, py.arrays[name])
+    for name in ("s", "t"):
+        assert repr(float(c.scalars[name])) == repr(float(py.scalars[name]))
+
+
+@needs_cc
+def test_c_validates_inputs_like_every_backend():
+    _program, sp = compile_at(BASIC_SOURCE)
+    with pytest.raises(InputError):
+        execute(sp, "c", initial_arrays={"Nope": np.zeros((6, 6))})
+    with pytest.raises(InputError):
+        execute(sp, "c", initial_arrays={"A": np.zeros((3, 3))})
+
+
+@needs_cc
+def test_c_seeds_initial_arrays():
+    _program, sp = compile_at(
+        """program seeded;
+config n : integer = 4;
+region R = [1..n];
+var A, B : [R] float;
+var s : float;
+begin
+  [R] B := A * 2.0;
+  s := +<< [R] B;
+end;
+"""
+    )
+    seeded = np.array([1.0, 2.0, 3.0, 4.0])
+    result = execute(sp, "c", initial_arrays={"A": seeded})
+    assert np.array_equal(result.arrays["B"], seeded * 2.0)
+    assert float(result.scalars["s"]) == 20.0
+
+
+@needs_cc
+@pytest.mark.parametrize("n", [0, 3])
+def test_c_empty_region_reduction_matches_py(n):
+    # Region emptiness is config-bound: the same program shape must fold
+    # normally for n = 3 and degrade exactly like the Python element
+    # loops for n = 0.  Every *scalarized* backend folds an empty
+    # reduction to the operation's identity (only the array-semantics
+    # reference interpreter raises); the native kernel must match its
+    # peers bit for bit, not trap or read out of bounds.
+    source = """program empt;
+config n : integer = %d;
+region R = [1..n];
+var A : [R] float;
+var s : float;
+begin
+  [R] A := Index1 * 1.0;
+  s := +<< [R] A;
+end;
+""" % n
+    _program, sp = compile_at(source)
+    c = execute(sp, "c")
+    py = execute(sp, "codegen_py")
+    assert repr(float(c.scalars["s"])) == repr(float(py.scalars["s"]))
+    assert float(c.scalars["s"]) == (0.0 if n == 0 else 6.0)
+
+
+def test_c_reduction_loop_guard_returns_distinct_status():
+    # The standalone-ReductionLoop guard path: a statically empty region
+    # compiles to ``return 1``, which NativeKernel maps to the same
+    # InterpError message codegen_py raises on that path.
+    from repro.ir.linexpr import LinearExpr
+    from repro.ir.region import Region
+    from repro.ir import expr as ir
+    from repro.scalarize.codegen_c import CGenerator
+    from repro.scalarize.loopnest import ReductionLoop
+
+    _program, sp = compile_at(BASIC_SOURCE)
+    gen = CGenerator(sp, module=True)
+    empty = Region(
+        ((LinearExpr.constant(1), LinearExpr.constant(0)),)
+    )
+    node = ReductionLoop("s", "+", empty, ir.ScalarRef("t"))
+    gen._emit_reduction(node, 1)
+    assert any(
+        "return 1; /* reduction over an empty region */" in line
+        for line in gen._lines
+    )
+
+
+@needs_cc
+def test_c_config_bound_region_extents():
+    source = """program sized;
+config rows : integer = 3;
+config cols : integer = 5;
+region R = [1..rows, 1..cols];
+var A : [R] float;
+var s : float;
+begin
+  [R] A := Index1 * 10.0 + Index2;
+  s := max<< [R] A;
+end;
+"""
+    _program, sp = compile_at(source)
+    result = execute(sp, "c")
+    assert result.arrays["A"].shape == (3, 5)
+    assert float(result.scalars["s"]) == 35.0
+
+
+# -- typed reduction initializers -------------------------------------------
+
+REDUCE_SOURCE = """program redux;
+config n : integer = 5;
+region R = [1..n];
+var K : [R] integer;
+var F : [R] float;
+var i : integer;
+var s : float;
+begin
+  [R] K := Index1 - 3;
+  [R] F := Index1 * 1.5 - 4.0;
+  i := %(op)s<< [R] K;
+  s := %(op)s<< [R] F;
+end;
+"""
+
+
+@needs_cc
+@pytest.mark.parametrize("op", ["+", "*", "max", "min"])
+def test_c_reduction_init_per_kind_and_op(op):
+    # The emitter used to seed every accumulator with the float table
+    # (0.0 / 1.0 / inf), silently promoting integer folds.  Each (kind,
+    # op) pair must fold in its own type and match the element loops
+    # exactly — including min/max over all-negative integer data, which
+    # only a typed extremal initializer gets right.
+    program, sp = compile_at(REDUCE_SOURCE % {"op": op}, "c2+f4+cse")
+    reference = run_reference(program)
+    c = execute(sp, "c")
+    py = execute(sp, "codegen_py")
+    assert np.asarray(c.scalars["i"]).dtype == np.int64
+    assert int(c.scalars["i"]) == int(py.scalars["i"]) == int(
+        reference.scalars["i"]
+    )
+    assert repr(float(c.scalars["s"])) == repr(float(py.scalars["s"]))
+
+
+def test_c_integer_reduction_initializers_are_typed():
+    _program, sp = compile_at(REDUCE_SOURCE % {"op": "max"})
+    code = render_c_module(sp)
+    # The integer max fold must start from INT64_MIN (as an overflow-safe
+    # literal), the float one from -INFINITY; neither may borrow the
+    # other's initializer.
+    assert "i = (-9223372036854775807LL - 1);" in code
+    assert "s = -INFINITY;" in code
+
+
+# -- service integration: compile once, serve the .so everywhere -------------
+
+_SERVE_SCRIPT = """
+import json, sys
+from repro.service import Service
+
+SRC = '''%s'''
+svc = Service(cache_dir=sys.argv[1])
+compiled = svc.compile(SRC, level="c2+f4+cse", backend="c")
+result = compiled.execute()
+counters = svc.metrics.snapshot()["counters"]
+print(json.dumps({
+    "s": repr(float(result.scalars["s"])),
+    "from_cache": compiled.from_cache,
+    "compiles": counters.get("service.compiles", 0),
+    "cc": counters.get("native.cc_invocations", 0),
+    "native_hits": counters.get("cache.native_hits", 0),
+}))
+""" % BASIC_SOURCE
+
+
+def _serve_in_subprocess(cache_dir):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.abspath(SRC_DIR)
+    proc = subprocess.run(
+        [sys.executable, "-c", _SERVE_SCRIPT, cache_dir],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        timeout=120,
+        env=env,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+@needs_cc
+def test_warm_so_serve_is_cc_free_across_processes(tmp_path):
+    cache_dir = str(tmp_path / "cache")
+    cold = _serve_in_subprocess(cache_dir)
+    warm = _serve_in_subprocess(cache_dir)
+    # Exactly one pipeline run and one compiler invocation ever happen.
+    assert cold["compiles"] == 1 and cold["cc"] == 1
+    assert not cold["from_cache"]
+    # The second process rebuilds nothing: artifact cache hit for the
+    # payload, content-addressed .so hit for the machine code.
+    assert warm["compiles"] == 0
+    assert warm["cc"] == 0
+    assert warm["from_cache"]
+    assert warm["native_hits"] >= 1
+    assert warm["s"] == cold["s"]
+
+
+@needs_cc
+def test_service_reuses_kernel_within_process(tmp_path):
+    from repro.service import Service
+
+    # A source no other test compiles: the per-process kernel memo is
+    # keyed by rendered C, so sharing BASIC_SOURCE here would let an
+    # earlier test's compile absorb this one's cc invocation.
+    source = BASIC_SOURCE.replace("* 1.5", "* 1.625")
+    svc = Service(cache_dir=str(tmp_path / "cache"))
+    first = svc.compile(source, level="c2+f4", backend="c")
+    second = svc.compile(source, level="c2+f4", backend="c")
+    r1 = first.execute()
+    r2 = second.execute()
+    counters = svc.metrics.snapshot()["counters"]
+    assert counters.get("service.compiles") == 1
+    assert counters.get("native.cc_invocations") == 1
+    assert repr(float(r1.scalars["s"])) == repr(float(r2.scalars["s"]))
+    assert "compile.cc" in first.compile_timings
+
+
+# -- degradation without a compiler ------------------------------------------
+
+
+def test_find_cc_empty_override_means_unavailable(monkeypatch):
+    monkeypatch.setenv("REPRO_CC", "")
+    assert find_cc() is None
+    assert not cc_available()
+
+
+def test_execute_without_cc_raises_backend_unavailable(monkeypatch):
+    monkeypatch.setenv("REPRO_CC", "")
+    _program, sp = compile_at(BASIC_SOURCE)
+    with pytest.raises(BackendUnavailableError, match="C compiler"):
+        execute(sp, "c")
+
+
+def test_tuner_space_excludes_c_without_cc(monkeypatch):
+    from repro.tune.space import default_space
+
+    monkeypatch.setenv("REPRO_CC", "")
+    assert "c" not in default_space().backends
+    # Even when c is the *configured* backend, the space silently falls
+    # back rather than enumerating plans the host cannot run.
+    assert "c" not in default_space(backend="c").backends
+
+
+@needs_cc
+def test_tuner_space_includes_c_with_cc():
+    from repro.tune.space import default_space
+
+    assert "c" in default_space().backends
+
+
+def test_cli_backends_marks_c_unavailable(monkeypatch, capsys):
+    from repro.cli import main
+
+    monkeypatch.setenv("REPRO_CC", "")
+    assert main(["backends"]) == 0
+    out = capsys.readouterr().out
+    assert "no (no cc)" in out
+
+
+def test_service_compile_without_cc_still_renders(monkeypatch, tmp_path):
+    # The artifact (with its rendered C) is machine-independent; only
+    # execution needs the compiler.  Build on a degraded host, inspect
+    # the code, fail only at run time.
+    from repro.service import Service
+
+    monkeypatch.setenv("REPRO_CC", "")
+    svc = Service(cache_dir=str(tmp_path / "cache"))
+    compiled = svc.compile(BASIC_SOURCE, level="c2+f4", backend="c")
+    assert "int repro_run" in (compiled.code or "")
+    counters = svc.metrics.snapshot()["counters"]
+    assert counters.get("native.cc_invocations", 0) == 0
+    with pytest.raises(BackendUnavailableError):
+        compiled.execute()
+
+
+# -- golden translation units ------------------------------------------------
+
+BENCH_NAMES = [bench.name for bench in benchsuite.ALL_BENCHMARKS]
+
+
+@pytest.mark.parametrize("name", BENCH_NAMES)
+def test_benchsuite_c_emission_matches_golden(name):
+    # Golden-pin the full translation unit of every benchsuite program
+    # at the most aggressive level: any emitter change must be reviewed
+    # against these diffs (regenerate by writing render_c_module output
+    # over the golden file).
+    bench = benchsuite.get_benchmark(name)
+    program = bench.test_program()
+    sp = scalarize(
+        program, plan_program(program, LEVELS_BY_NAME["c2+f4+cse"])
+    )
+    golden_path = os.path.join(
+        GOLDEN_DIR, "c_bench_%s.golden.c" % name.lower()
+    )
+    with open(golden_path) as handle:
+        assert render_c_module(sp) == handle.read()
+
+
+@needs_cc
+@pytest.mark.parametrize("name", BENCH_NAMES)
+def test_benchsuite_c_runs_bit_identical_to_py(name):
+    bench = benchsuite.get_benchmark(name)
+    program = bench.test_program()
+    sp = scalarize(
+        program, plan_program(program, LEVELS_BY_NAME["c2+f4+cse"])
+    )
+    c = execute(sp, "c")
+    py = execute(sp, "codegen_py")
+    for aname, arr in c.arrays.items():
+        assert arr.dtype == py.arrays[aname].dtype, (name, aname)
+        assert np.array_equal(arr, py.arrays[aname], equal_nan=True), (
+            name,
+            aname,
+        )
+    for sname, value in c.scalars.items():
+        assert repr(float(value)) == repr(float(py.scalars[sname])), (
+            name,
+            sname,
+        )

@@ -1,17 +1,33 @@
-"""Seeded differential fuzzing: four back ends, every level, one oracle.
+"""Seeded differential fuzzing: five back ends, every level, one oracle.
 
 Each corpus seed maps deterministically (``tests/genprog.py``) to one
 mini-ZPL program, which is executed at **every** optimization level on
 **every** back end — the tree-walking interpreter, generated Python
-element loops, whole-region NumPy slices and the tile-parallel engine —
-and compared elementwise against the reference (array-semantics)
-interpreter to 1e-9 relative tolerance.
+element loops, whole-region NumPy slices, the tile-parallel engine and
+(when the host has a C compiler) native host-compiled C — and compared
+elementwise against the reference (array-semantics) interpreter to 1e-9
+relative tolerance.
 
-On top of the reference comparison, ``np-par`` must match ``codegen_np``
-*bit for bit*: tiling a dependence-free sweep permutes only the order of
-independent element computations, never the arithmetic, so any drift at
-all is a tiling bug (a halo read of a freshly-written neighbor, a lost
-corner restore) rather than float noise.
+On top of the reference comparison, two bit-identity oracles:
+
+* ``np-par`` must match ``codegen_np`` *bit for bit*: tiling a
+  dependence-free sweep permutes only the order of independent element
+  computations, never the arithmetic, so any drift at all is a tiling
+  bug (a halo read of a freshly-written neighbor, a lost corner
+  restore) rather than float noise.
+* ``c`` must match ``codegen_py`` *bit for bit* — arrays (dtype +
+  ``np.array_equal``) **and** scalars (``repr``-exact) — at every
+  level.  Both execute the same loop nests in the same element order
+  with serial reduction folds, and the C unit is compiled with
+  ``-ffp-contract=off``, so IEEE semantics leave no room for drift.
+
+Pinned operation-order caveat (documented, not loosened): ``c`` vs
+``codegen_np`` arrays are compared bitwise only for programs without a
+mid-program float sum (``s := +<<``) feeding later statements, and
+float ``+<<`` *scalars* are never compared bitwise against the NumPy
+back ends at all — ``np.sum`` uses pairwise summation while the C and
+Python element loops fold serially, an associativity difference, not a
+bug.  Those cases stay under the reference-tolerance oracle.
 
 Corpus size defaults to 200 seeds and is tunable with
 ``REPRO_FUZZ_COUNT`` (CI smoke jobs use a smaller fixed subset; the
@@ -40,8 +56,14 @@ from repro.interp import run_reference  # noqa: E402
 from repro.ir import normalize_source  # noqa: E402
 from repro.scalarize import scalarize  # noqa: E402
 
+from repro.exec.native import cc_available  # noqa: E402
+
 FUZZ_COUNT = int(os.environ.get("REPRO_FUZZ_COUNT", "200"))
-BACKENDS = ("interp", "codegen_py", "codegen_np", "np-par")
+#: The native backend joins the differential only where it can run; the
+#: rest of the oracle is unchanged on compiler-less hosts.
+BACKENDS = ("interp", "codegen_py", "codegen_np", "np-par") + (
+    ("c",) if cc_available() else ()
+)
 
 #: Elementwise agreement bar for float state across back ends.
 RTOL, ATOL = 1e-9, 1e-11
@@ -68,8 +90,13 @@ def test_fuzz_backends_agree_at_every_level(seed):
     source = generate_program(seed)
     program = normalize_source(source)
     reference = run_reference(program)
+    # A mid-program float sum whose value feeds later statements
+    # amplifies the serial-vs-pairwise summation difference into array
+    # state; those seeds keep the tolerance oracle vs the NumPy engines.
+    has_float_sum = "s := +<<" in source
     for level in ALL_LEVELS:
         scalar_program = scalarize(program, plan_program(program, level))
+        py_result = None
         np_result = None
         for backend in BACKENDS:
             result = execute(scalar_program, backend)
@@ -88,7 +115,9 @@ def test_fuzz_backends_agree_at_every_level(seed):
                     float(reference.scalars[name]),
                     "%s scalar %s\n%s" % (where, name, source),
                 )
-            if backend == "codegen_np":
+            if backend == "codegen_py":
+                py_result = result
+            elif backend == "codegen_np":
                 np_result = result
             elif backend == "np-par":
                 # Tiling must be bit-transparent relative to the
@@ -103,6 +132,42 @@ def test_fuzz_backends_agree_at_every_level(seed):
                         name,
                         source,
                     )
+            elif backend == "c":
+                # Same element order, same serial folds, fp-contract
+                # off: the native kernel must be bit-transparent
+                # relative to the Python element loops — state *and*
+                # scalars, at every level.
+                for name, array in result.arrays.items():
+                    other = py_result.arrays[name]
+                    assert array.dtype == other.dtype, where
+                    assert np.array_equal(
+                        array, other, equal_nan=True
+                    ), "%s != codegen_py on array %s\n%s" % (
+                        where,
+                        name,
+                        source,
+                    )
+                for name in ("s", "t"):
+                    assert repr(float(result.scalars[name])) == repr(
+                        float(py_result.scalars[name])
+                    ), "%s scalar %s != codegen_py\n%s" % (
+                        where,
+                        name,
+                        source,
+                    )
+                if not has_float_sum:
+                    # No serial-vs-pairwise sum in play: array state
+                    # must also bit-match the vectorized engine.
+                    for name, array in result.arrays.items():
+                        other = np_result.arrays[name]
+                        assert array.dtype == other.dtype, where
+                        assert np.array_equal(
+                            array, other, equal_nan=True
+                        ), "%s != codegen_np on array %s\n%s" % (
+                            where,
+                            name,
+                            source,
+                        )
 
 
 @pytest.mark.parametrize("seed", range(FUZZ_COUNT))
