@@ -1,0 +1,291 @@
+"""Multi-client load generator: serving daemon vs in-process baseline.
+
+Drives N concurrent clients against two serving configurations of the
+same fused element-bound pipeline:
+
+* **baseline** — a single in-process :class:`repro.service.Service`
+  shared by a thread pool: compile once, then every client thread calls
+  ``compiled.execute()`` directly.  This is the best you can do without
+  the daemon: no sockets, no serialization, but every request contends
+  for one interpreter.
+* **daemon** — the multi-process serving daemon: HTTP front end,
+  admission queue, shared-memory transport, worker processes sharing
+  one artifact cache.  Under concurrent load the admission queue hands
+  workers same-digest batches, and identical scalar-only requests in a
+  batch coalesce onto one execution (reported as ``coalesced`` below) —
+  the serve-many half of compile-once/serve-many.
+
+Reports p50/p95/p99 request latency and aggregate req/s for both, and
+writes the table to ``results/serving_load.txt``.  Rounds are
+interleaved (baseline, daemon, baseline, daemon, ...) and the reported
+figure is the median across rounds, so background noise on a shared
+host cannot systematically favor either side.
+
+``--smoke`` runs a small correctness-focused pass (used by CI): it
+asserts zero sheds, zero worker restarts, and exactly one compile per
+program digest across the whole run, and skips the performance
+comparison.
+
+Run directly (not under pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_serving_load.py
+    PYTHONPATH=src python benchmarks/bench_serving_load.py --smoke
+"""
+
+import argparse
+import os
+import pathlib
+import statistics
+import sys
+import tempfile
+import threading
+import time
+
+#: Damped 5-point stencil iterated enough to be execute-bound (~10ms a
+#: request serially): the serving layer's overhead must be judged
+#: against real work, not an empty program.
+SOURCE = """
+program loadpipe;
+config n : integer = 96;
+config steps : integer = 120;
+region R = [1..n, 1..n];
+var A : [R] float;
+var B : [R] float;
+var t : integer;
+var s : float;
+begin
+  [R] A := Index1 * 0.001 + Index2 * 0.002;
+  for t := 1 to steps do
+    [R] B := (A@(-1,0) + A@(1,0) + A@(0,-1) + A@(0,1)) * 0.2475 + A * 0.01;
+    [R] A := B;
+  end;
+  s := +<< [R] A;
+end;
+"""
+
+LEVEL = "c2+f4+cse"
+
+
+def percentile(samples, q):
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def run_clients(clients, requests, issue):
+    """Run ``clients`` threads, each issuing ``requests`` calls through
+    ``issue(client_index)``; returns (latencies_s, wall_s, errors)."""
+    latencies = []
+    errors = []
+    lock = threading.Lock()
+
+    def worker(index):
+        mine = []
+        try:
+            for _ in range(requests):
+                t0 = time.perf_counter()
+                issue(index)
+                mine.append(time.perf_counter() - t0)
+        except Exception as error:  # noqa: BLE001 - reported to the table
+            with lock:
+                errors.append("client %d: %r" % (index, error))
+        with lock:
+            latencies.extend(mine)
+
+    threads = [
+        threading.Thread(target=worker, args=(i,)) for i in range(clients)
+    ]
+    t0 = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - t0
+    return latencies, wall, errors
+
+
+def bench_baseline_round(compiled, clients, requests):
+    def issue(_index):
+        result = compiled.execute()
+        assert "s" in result.scalars
+
+    return run_clients(clients, requests, issue)
+
+
+def bench_daemon_round(port, clients, requests):
+    from repro.daemon import DaemonClient
+
+    local = threading.local()
+
+    def issue(_index):
+        if not hasattr(local, "client"):
+            local.client = DaemonClient(port=port, timeout=120)
+        result = local.client.execute(SOURCE, level=LEVEL)
+        assert "s" in result["scalars"]
+
+    return run_clients(clients, requests, issue)
+
+
+def summarize(name, latencies, wall):
+    return {
+        "name": name,
+        "requests": len(latencies),
+        "req_s": len(latencies) / wall if wall else 0.0,
+        "p50_ms": percentile(latencies, 0.50) * 1e3,
+        "p95_ms": percentile(latencies, 0.95) * 1e3,
+        "p99_ms": percentile(latencies, 0.99) * 1e3,
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--clients", type=int, default=32)
+    parser.add_argument("--requests", type=int, default=4,
+                        help="requests per client per round")
+    parser.add_argument("--rounds", type=int, default=3,
+                        help="interleaved A/B rounds; median is reported")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="daemon worker processes")
+    parser.add_argument("--port", type=int, default=0,
+                        help="daemon port (0 = ephemeral, API-level only)")
+    parser.add_argument("--out", default=None,
+                        help="output file (default results/serving_load.txt)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small correctness run for CI: asserts zero "
+                             "sheds/restarts and exactly one compile")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        args.clients = min(args.clients, 4)
+        args.requests = min(args.requests, 2)
+        args.rounds = 1
+        args.workers = min(args.workers, 2)
+
+    from repro.daemon import Daemon, DaemonConfig
+    from repro.service.service import Service
+
+    out_path = pathlib.Path(
+        args.out
+        or pathlib.Path(__file__).resolve().parent.parent
+        / "results" / "serving_load.txt"
+    )
+    out_path.parent.mkdir(exist_ok=True)
+
+    lines = []
+
+    def emit(text=""):
+        print(text, flush=True)
+        lines.append(text)
+
+    emit("serving load: daemon vs in-process thread-pooled Service")
+    emit("workload: loadpipe (96x96 5-point stencil x120 steps), level %s"
+         % LEVEL)
+    emit("host cpus: %s | clients: %d | requests/client/round: %d | "
+         "rounds: %d | daemon workers: %d"
+         % (os.cpu_count(), args.clients, args.requests, args.rounds,
+            args.workers))
+    emit()
+
+    cache_dir = tempfile.mkdtemp(prefix="repro-bench-daemon-")
+
+    # Baseline service: compile once up front (the daemon gets the same
+    # courtesy via a warmup request below, so both sides race warm).
+    service = Service(level=LEVEL, persistent=False)
+    compiled = service.compile(SOURCE)
+    compiled.execute()
+
+    config = DaemonConfig(
+        level=LEVEL,
+        workers=args.workers,
+        queue_depth=max(64, args.clients * 2),
+        cache_dir=cache_dir,
+        port=args.port,
+    )
+    baseline_rounds = []
+    daemon_rounds = []
+    with Daemon(config) as daemon:
+        from repro.daemon import DaemonClient
+
+        with DaemonClient(port=daemon.port, timeout=300) as warm:
+            warm.execute(SOURCE, level=LEVEL)  # the one compile
+
+        for round_index in range(args.rounds):
+            base = bench_baseline_round(compiled, args.clients, args.requests)
+            daem = bench_daemon_round(daemon.port, args.clients, args.requests)
+            for label, (latencies, wall, errors) in (
+                ("baseline", base), ("daemon", daem)
+            ):
+                if errors:
+                    emit("ERRORS (%s round %d): %s"
+                         % (label, round_index, "; ".join(errors[:3])))
+                    return 1
+            baseline_rounds.append(base)
+            daemon_rounds.append(daem)
+
+        health = daemon.health()
+        counters = health["counters"]
+
+    def median_summary(name, rounds):
+        summaries = [summarize(name, lat, wall) for lat, wall, _err in rounds]
+        summaries.sort(key=lambda row: row["req_s"])
+        return summaries[len(summaries) // 2]
+
+    rows = [
+        median_summary("baseline (in-process threads)",
+                       [(l, w, e) for l, w, e in baseline_rounds]),
+        median_summary("daemon (%d workers, shm)" % args.workers,
+                        [(l, w, e) for l, w, e in daemon_rounds]),
+    ]
+    header = "%-32s %9s %9s %9s %9s %9s" % (
+        "system", "requests", "req/s", "p50 ms", "p95 ms", "p99 ms")
+    emit(header)
+    emit("-" * len(header))
+    for row in rows:
+        emit("%-32s %9d %9.1f %9.2f %9.2f %9.2f" % (
+            row["name"], row["requests"], row["req_s"],
+            row["p50_ms"], row["p95_ms"], row["p99_ms"]))
+    emit()
+    emit("daemon counters: requests=%s shed=%s restarts=%s compiles=%s "
+         "coalesced=%s"
+         % (counters.get("daemon.requests", 0),
+            counters.get("daemon.shed", 0),
+            health["worker_restarts"],
+            counters.get("daemon.worker_compiles", 0),
+            counters.get("daemon.coalesced", 0)))
+    emit("(coalesced = identical pure requests answered from one "
+         "execution inside a same-digest batch)")
+
+    failures = []
+    if counters.get("daemon.shed", 0) != 0:
+        failures.append("daemon shed requests under configured load")
+    if health["worker_restarts"] != 0:
+        failures.append("worker restarted during the run")
+    if counters.get("daemon.worker_compiles", 0) != 1:
+        failures.append(
+            "expected exactly one compile per digest, saw %s"
+            % counters.get("daemon.worker_compiles", 0))
+    if not args.smoke:
+        base_req_s = rows[0]["req_s"]
+        daemon_req_s = rows[1]["req_s"]
+        verdict = ("daemon sustains %.2fx the baseline's req/s"
+                   % (daemon_req_s / base_req_s))
+        emit(verdict)
+        if daemon_req_s <= base_req_s:
+            failures.append(
+                "daemon did not beat the in-process baseline "
+                "(%.1f vs %.1f req/s)" % (daemon_req_s, base_req_s))
+
+    if failures:
+        for failure in failures:
+            emit("FAIL: %s" % failure)
+        out_path.write_text("\n".join(lines) + "\n")
+        return 1
+
+    emit("OK")
+    out_path.write_text("\n".join(lines) + "\n")
+    emit("saved %s" % out_path)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,6 +20,11 @@ Commands
     Compile once through the content-addressed artifact cache and execute
     a batch of requests (``--requests requests.json``, optionally across
     ``--workers`` threads); ``--stats`` prints the pipeline metrics JSON.
+    With ``--daemon``, run a long-lived serving daemon instead: HTTP
+    front end, bounded admission, multiprocessing worker pool with
+    zero-copy shared-memory array transport (see ``repro.daemon``);
+    ``GET /metrics`` serves the same Prometheus exposition that
+    ``repro stats --format=prom`` emits as its scrape-file twin.
 
 ``tune FILE``
     Search serving plans (level x backend x workers x tile shape) under a
@@ -115,6 +120,29 @@ def _positive_int(text: str):
     if value < 1:
         raise argparse.ArgumentTypeError(
             "expected a positive integer, got %d" % value
+        )
+    return value
+
+
+def _port(text: str):
+    """Validate --port: a real bindable port, with 0 rejected explicitly.
+
+    Port 0 asks the kernel for an ephemeral port — fine for tests using
+    the library API, but useless for an operator-facing flag: the daemon
+    would come up on an address nobody knows.
+    """
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError("expected an integer, got %r" % text)
+    if value == 0:
+        raise argparse.ArgumentTypeError(
+            "port 0 (ephemeral) is not allowed: pass a fixed port in "
+            "1..65535 so clients know where the daemon listens"
+        )
+    if not 1 <= value <= 65535:
+        raise argparse.ArgumentTypeError(
+            "expected a port in 1..65535, got %d" % value
         )
     return value
 
@@ -253,6 +281,41 @@ def _build_parser() -> argparse.ArgumentParser:
         help="enable structured tracing and write a Chrome trace-event "
         "JSON (Perfetto-loadable) per serve run into DIR; $REPRO_TRACE "
         "also enables tracing (tree to stderr, or a .json path)",
+    )
+    serve_parser.add_argument(
+        "--daemon", action="store_true",
+        help="run as a serving daemon: HTTP front end with bounded "
+        "admission and a multiprocessing worker pool (arrays travel "
+        "zero-copy via shared memory); FILE is ignored — clients POST "
+        "programs to /execute.  SIGTERM drains in-flight requests",
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1",
+        help="daemon bind address (default: 127.0.0.1)",
+    )
+    serve_parser.add_argument(
+        "--port", type=_port, default=7341, metavar="PORT",
+        help="daemon listen port in 1..65535; port 0 is rejected "
+        "(default: 7341)",
+    )
+    serve_parser.add_argument(
+        "--daemon-workers", type=_positive_int, default=2, metavar="N",
+        help="worker processes in the daemon pool (default: 2)",
+    )
+    serve_parser.add_argument(
+        "--queue-depth", type=_positive_int, default=64, metavar="N",
+        help="admission-queue bound; requests beyond it are shed with "
+        "503 (default: 64)",
+    )
+    serve_parser.add_argument(
+        "--batch-max", type=_positive_int, default=8, metavar="N",
+        help="max same-digest requests dispatched to a worker as one "
+        "batch (default: 8)",
+    )
+    serve_parser.add_argument(
+        "--max-request-mb", type=_positive_int, default=64, metavar="MB",
+        help="reject requests whose arrays exceed MB megabytes with 413 "
+        "(default: 64)",
     )
 
     trace_parser = sub.add_parser(
@@ -512,11 +575,71 @@ def _load_requests(path: Optional[str]):
     return [request if request else None for request in data]
 
 
+def cmd_serve_daemon(args) -> int:
+    """``repro serve --daemon``: serve until SIGTERM/SIGINT, then drain."""
+    import signal
+    import threading
+
+    from repro.daemon import Daemon, DaemonConfig
+
+    config = DaemonConfig(
+        level=args.level,
+        backend=args.backend,
+        workers=args.daemon_workers,
+        queue_depth=args.queue_depth,
+        batch_max=args.batch_max,
+        max_request_bytes=args.max_request_mb * 1024 * 1024,
+        host=args.host,
+        port=args.port,
+        cache_dir=args.cache_dir,
+        persistent=not args.no_cache,
+    )
+    _level(args.level)  # fail fast on a bad level name
+    daemon = Daemon(config, trace=True if args.trace_dir else None)
+    stop_event = threading.Event()
+
+    def _signal(signum, frame):
+        stop_event.set()
+
+    signal.signal(signal.SIGTERM, _signal)
+    signal.signal(signal.SIGINT, _signal)
+    daemon.start()
+    print(
+        "daemon listening on %s:%d  workers=%d queue-depth=%d "
+        "level=%s backend=%s"
+        % (
+            config.host,
+            daemon.port,
+            config.workers,
+            config.queue_depth,
+            config.level,
+            config.backend,
+        ),
+        flush=True,
+    )
+    stop_event.wait()
+    print("draining...", flush=True)
+    daemon.stop(drain=True)
+    counters = daemon.metrics.snapshot()["counters"]
+    print(
+        "drained: %d requests, %d shed, %d worker restarts"
+        % (
+            counters.get("daemon.requests", 0),
+            counters.get("daemon.shed", 0),
+            counters.get("daemon.worker_restarts", 0),
+        ),
+        flush=True,
+    )
+    return 0
+
+
 def cmd_serve(args) -> int:
     import json
 
     from repro.service import Service
 
+    if args.daemon:
+        return cmd_serve_daemon(args)
     source = _load(args)
     level = _level(args.level)
     service = Service(

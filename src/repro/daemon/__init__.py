@@ -1,0 +1,24 @@
+"""The multi-process serving daemon.
+
+``repro serve --daemon`` turns the in-process :class:`repro.service.
+service.Service` into a long-lived server: an HTTP front end with
+bounded admission, per-digest request batching, and a pool of worker
+*processes* (CPython threads share one GIL; processes don't) that move
+array payloads through ``multiprocessing.shared_memory`` — zero-copy on
+the worker side, never pickled anywhere.
+
+Modules:
+
+* :mod:`repro.daemon.server` — the front end (:class:`~repro.daemon.server.Daemon`).
+* :mod:`repro.daemon.client` — a stdlib client (:class:`~repro.daemon.client.DaemonClient`).
+* :mod:`repro.daemon.admission` — the bounded queue with digest batching.
+* :mod:`repro.daemon.pool` — worker processes, crash recovery, drain.
+* :mod:`repro.daemon.worker` — the worker-process entry point.
+* :mod:`repro.daemon.shm` — the shared-memory array transport.
+* :mod:`repro.daemon.protocol` — the wire framing (JSON head + raw bytes).
+"""
+
+from repro.daemon.client import DaemonClient, DaemonError
+from repro.daemon.server import Daemon, DaemonConfig
+
+__all__ = ["Daemon", "DaemonConfig", "DaemonClient", "DaemonError"]

@@ -1,0 +1,112 @@
+"""Bounded admission with per-digest batch extraction.
+
+The daemon's front end never blocks a client on queue pressure: a full
+queue means :meth:`AdmissionQueue.offer` returns ``False`` and the HTTP
+layer sheds the request with an explicit 503 (the ``daemon.shed``
+counter records each one).  Load shedding with a visible signal beats a
+silently growing backlog — the client can back off or retry elsewhere.
+
+The dispatcher side takes work in *digest batches*: one blocking
+:meth:`take_batch` pops the head job plus every queued job for the same
+program digest (up to a cap), so a burst of traffic for one compiled
+program crosses the worker pipe as a single message and runs back to
+back over one warmed artifact.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass
+class Job:
+    """One admitted execute request, from HTTP thread to worker."""
+
+    id: int
+    digest: str
+    #: The compile/execute spec a worker needs: program source, level,
+    #: backend, config, want_arrays, delay_s.
+    spec: Dict[str, object]
+    #: Request-array segment, or None when the request carried no arrays.
+    shm_name: Optional[str]
+    shm_meta: Tuple
+    future: Future = field(default_factory=Future)
+    enqueued_at: float = 0.0
+    retries: int = 0
+
+
+class AdmissionQueue:
+    """A bounded FIFO of jobs with digest-batched removal."""
+
+    def __init__(self, depth: int) -> None:
+        if depth < 1:
+            raise ValueError("queue depth must be >= 1")
+        self.depth = depth
+        self._jobs: deque = deque()
+        self._lock = threading.Lock()
+        self._ready = threading.Condition(self._lock)
+        self._closed = False
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._jobs)
+
+    def offer(self, job: Job) -> bool:
+        """Admit a job, or return False immediately when full/closed."""
+        with self._lock:
+            if self._closed or len(self._jobs) >= self.depth:
+                return False
+            self._jobs.append(job)
+            self._ready.notify()
+            return True
+
+    def requeue_front(self, jobs: Sequence[Job]) -> None:
+        """Put crash-recovered jobs back at the head, bound ignored.
+
+        These jobs were already admitted once; bouncing them now would
+        turn a worker crash into client-visible sheds.
+        """
+        with self._lock:
+            for job in reversed(jobs):
+                self._jobs.appendleft(job)
+            self._ready.notify_all()
+
+    def take_batch(self, max_batch: int) -> Optional[List[Job]]:
+        """Block for the next job; return it plus same-digest followers.
+
+        Returns None once the queue is closed and drained, which is the
+        dispatcher's signal to exit.
+        """
+        with self._lock:
+            while not self._jobs:
+                if self._closed:
+                    return None
+                self._ready.wait()
+            head = self._jobs.popleft()
+            batch = [head]
+            if max_batch > 1 and self._jobs:
+                keep: deque = deque()
+                while self._jobs and len(batch) < max_batch:
+                    job = self._jobs.popleft()
+                    if job.digest == head.digest:
+                        batch.append(job)
+                    else:
+                        keep.append(job)
+                while keep:
+                    self._jobs.appendleft(keep.pop())
+            return batch
+
+    def close(self) -> None:
+        """Stop admitting; blocked take_batch callers drain then get None."""
+        with self._lock:
+            self._closed = True
+            self._ready.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed

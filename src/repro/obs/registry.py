@@ -140,6 +140,21 @@ SPANS: List[SpanDef] = [
         "Measuring one candidate plan: warmup, timed repeats, variance "
         "guard.",
     ),
+    SpanDef(
+        "daemon.request",
+        ("digest", "status"),
+        "daemon.server.Daemon.execute_frame",
+        "One daemon execute request end to end: decode, admission, "
+        "shared-memory transport, worker round trip, response.  status "
+        "is the HTTP status (200, 503 shed, 413 oversized, 500 failed).",
+    ),
+    SpanDef(
+        "daemon.dispatch",
+        ("digest", "batch", "worker"),
+        "daemon.pool.WorkerPool._run_batch",
+        "One digest batch crossing a worker pipe: send, execute in the "
+        "worker process, reply.  batch is the job count.",
+    ),
 ]
 
 #: Every counter name (``Metrics.incr``).  ``*`` suffixes are dynamic.
@@ -197,6 +212,51 @@ COUNTERS: List[CounterDef] = [
     ),
     CounterDef("tune.db_writes", "Tuning records persisted."),
     CounterDef("tune.db_write_errors", "Failed tuning-record writes."),
+    CounterDef(
+        "cache.lock_waits",
+        "Contended cross-process build-lock acquisitions (another "
+        "process was compiling the same digest).",
+    ),
+    CounterDef("daemon.requests", "Execute requests received by the daemon."),
+    CounterDef(
+        "daemon.shed",
+        "Requests shed with 503 because the admission queue was full.",
+    ),
+    CounterDef(
+        "daemon.oversized",
+        "Requests rejected with 413 for exceeding the array-payload bound.",
+    ),
+    CounterDef(
+        "daemon.errors",
+        "Requests that failed (protocol errors, worker failures, timeouts).",
+    ),
+    CounterDef(
+        "daemon.dispatches",
+        "Digest batches sent to workers (one pipe round trip each).",
+    ),
+    CounterDef(
+        "daemon.worker_restarts",
+        "Worker processes restarted after a crash.",
+    ),
+    CounterDef(
+        "daemon.requeued",
+        "In-flight jobs requeued after their worker crashed.",
+    ),
+    CounterDef(
+        "daemon.coalesced",
+        "Replies served by coalescing an identical pure request in the "
+        "same batch onto one execution (scalar-only, no input arrays).",
+    ),
+    CounterDef(
+        "daemon.worker_compiles",
+        "Cold compiles performed inside worker processes (with a shared "
+        "cache and the build lock, one per digest across the pool).",
+    ),
+    CounterDef(
+        "daemon.worker_cc",
+        "Host C-compiler invocations inside worker processes (zero on a "
+        "warm .so cache).",
+    ),
 ]
 
 #: Every timer name (``Metrics.observe`` / ``Metrics.time``).  Timers
@@ -229,6 +289,18 @@ TIMERS: List[TimerDef] = [
     TimerDef("tune.total", "One whole tune() call."),
     TimerDef("tune.compile", "Per-level compilation inside tune()."),
     TimerDef("tune.measure", "One candidate measurement (incl. warmup)."),
+    TimerDef(
+        "daemon.request",
+        "One daemon execute request end to end (front-end view).",
+    ),
+    TimerDef(
+        "daemon.queue_wait",
+        "Time a job spent in the admission queue before dispatch.",
+    ),
+    TimerDef(
+        "daemon.dispatch",
+        "One digest batch's worker round trip (pipe + execution).",
+    ),
 ]
 
 

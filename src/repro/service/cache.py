@@ -23,6 +23,11 @@ wrong (or crashing) kernel.
 The root defaults to ``.repro-cache/`` and is overridable with the
 ``REPRO_CACHE_DIR`` environment variable; the disk tier is size-bounded
 (``REPRO_CACHE_MAX_BYTES``, default 256 MiB) with oldest-first eviction.
+
+``<root>/locks/`` holds per-digest ``flock`` files for
+:meth:`ArtifactCache.build_lock`, the cross-process single-flight
+protocol: concurrent processes missing on one digest elect one builder,
+the rest block and then hit the artifact it persisted.
 """
 
 from __future__ import annotations
@@ -34,6 +39,7 @@ import pickle
 import tempfile
 import threading
 from collections import OrderedDict
+from contextlib import contextmanager
 from typing import Dict, List, Optional, Tuple
 
 from repro.service import fingerprint
@@ -114,6 +120,56 @@ class ArtifactCache:
         self._memory_put(digest, payload)
         if self.persistent:
             self._disk_put(digest, payload)
+
+    # -- cross-process single-flight ---------------------------------------
+
+    @contextmanager
+    def build_lock(self, digest: str):
+        """An exclusive cross-process lock for building one digest.
+
+        Threads in one service already single-flight through the
+        in-process future map; this extends the guarantee across
+        *processes* sharing a cache directory (the daemon's worker pool,
+        parallel CI jobs): the lock is an ``fcntl.flock`` on
+        ``<root>/locks/<digest>.lock``, so exactly one process runs the
+        pipeline while the rest block, then re-probe the cache and hit
+        the artifact the owner just persisted.  The holder must re-check
+        ``get(digest)`` under the lock before building.
+
+        Contended acquisitions are counted as ``cache.lock_waits``.
+        Degrades to a no-op when the cache is memory-only or the
+        platform has no ``fcntl`` — single-process semantics are
+        unchanged either way.
+        """
+        if not self.persistent:
+            yield
+            return
+        try:
+            import fcntl
+        except ImportError:
+            yield
+            return
+        lock_dir = os.path.join(self.root, "locks")
+        lock_path = os.path.join(lock_dir, digest + ".lock")
+        try:
+            os.makedirs(lock_dir, exist_ok=True)
+            fd = os.open(lock_path, os.O_RDWR | os.O_CREAT, 0o644)
+        except OSError:
+            # Read-only cache directory: same degradation as _disk_put.
+            yield
+            return
+        try:
+            try:
+                fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+            except OSError:
+                self.metrics.incr("cache.lock_waits")
+                fcntl.flock(fd, fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+        finally:
+            os.close(fd)
 
     def invalidate(self, digest: str) -> None:
         with self._memory_lock:

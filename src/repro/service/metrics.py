@@ -5,9 +5,9 @@ cache hits/misses, per-pass compile time (``compile.normalize``,
 ``compile.deps``, ``compile.fusion``, ``compile.scalarize``,
 ``compile.codegen``), per-backend execution time
 (``execute.codegen_np`` etc.), and the autotuner's ``tune.*`` timers.
-Timer snapshots carry tail percentiles (``p50_s``/``p95_s``, from a
-bounded reservoir) so tuned and default plans can be compared on tail
-latency, not just means.  Snapshots are plain JSON-serializable dicts,
+Timer snapshots carry tail percentiles (``p50_s``/``p95_s``/``p99_s``,
+from a bounded reservoir) so tuned and default plans can be compared on
+tail latency, not just means.  Snapshots are plain JSON-serializable dicts,
 printed by ``repro serve --stats`` and exportable with ``--stats-json``.
 
 All mutation is lock-protected so ``Service.submit_many`` can record
@@ -116,6 +116,7 @@ class TimerStat:
             "max_s": self.max,
             "p50_s": self.percentile(0.50),
             "p95_s": self.percentile(0.95),
+            "p99_s": self.percentile(0.99),
             "buckets": self.bucket_counts(),
         }
 

@@ -329,9 +329,19 @@ class Service:
             if not owner:
                 return self._wrap(future.result(), from_cache=True, plan=plan)
             try:
-                self.metrics.incr("cache.misses")
-                payload = build_payload()
-                self.cache.put(digest, payload)
+                # Cross-process single-flight: take the cache-dir lock
+                # for this digest, then re-probe — another process may
+                # have persisted the artifact while we waited.
+                with self.cache.build_lock(digest):
+                    payload = self.cache.get(digest)
+                    from_cache = payload is not None
+                    if from_cache:
+                        self.metrics.incr("cache.hits")
+                        compile_span.set("cache_hit", True)
+                    else:
+                        self.metrics.incr("cache.misses")
+                        payload = build_payload()
+                        self.cache.put(digest, payload)
                 future.set_result(payload)
             except BaseException as error:
                 future.set_exception(error)
@@ -339,7 +349,7 @@ class Service:
             finally:
                 with self._inflight_lock:
                     self._inflight.pop(digest, None)
-            return self._wrap(payload, from_cache=False, plan=plan)
+            return self._wrap(payload, from_cache=from_cache, plan=plan)
 
     def _wrap(
         self,

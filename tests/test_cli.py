@@ -299,3 +299,48 @@ class TestServeTrace:
         assert main(["serve", source_file]) == 0
         with open(out) as handle:
             assert json.load(handle)["traceEvents"]
+
+
+class TestServeDaemonFlags:
+    """Argument validation for ``serve --daemon`` — each bad value must
+    die in argparse (exit code 2) with a message naming the problem."""
+
+    def _err(self, capsys, argv):
+        with pytest.raises(SystemExit) as exc:
+            main(argv)
+        assert exc.value.code == 2
+        return capsys.readouterr().err
+
+    def test_port_zero_rejected(self, source_file, capsys):
+        err = self._err(
+            capsys, ["serve", source_file, "--daemon", "--port", "0"]
+        )
+        assert "port 0 (ephemeral) is not allowed" in err
+
+    def test_port_out_of_range_rejected(self, source_file, capsys):
+        err = self._err(
+            capsys, ["serve", source_file, "--daemon", "--port", "70000"]
+        )
+        assert "1..65535" in err
+
+    def test_port_non_integer_rejected(self, source_file, capsys):
+        err = self._err(
+            capsys, ["serve", source_file, "--daemon", "--port", "http"]
+        )
+        assert "port" in err
+
+    @pytest.mark.parametrize("flag", ["--daemon-workers", "--queue-depth"])
+    @pytest.mark.parametrize("bad", ["0", "-3", "two"])
+    def test_counts_must_be_positive_integers(
+        self, source_file, capsys, flag, bad
+    ):
+        err = self._err(
+            capsys, ["serve", source_file, "--daemon", flag, bad]
+        )
+        assert flag in err
+
+    def test_batch_max_must_be_positive(self, source_file, capsys):
+        err = self._err(
+            capsys, ["serve", source_file, "--daemon", "--batch-max", "0"]
+        )
+        assert "--batch-max" in err
