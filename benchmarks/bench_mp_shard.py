@@ -1,0 +1,64 @@
+"""The mp-shard backend: measured-vs-modeled halo traffic and scaling.
+
+Runs the benchsuite sharded over 1/2/4/6 worker processes at three
+optimization levels, asserting the full validation contract (bit
+identity against the single-process ``codegen_np`` oracle, measured
+halo bytes equal to the §5.5 model event-for-event) and reporting the
+predicted-vs-measured exchange table plus wall-clock per configuration.
+Timing here is about *overhead structure*, not speedup: at test problem
+sizes the fork + shared-memory setup dominates, so the interesting
+output is the byte accounting, which must be exact at every scale.
+"""
+
+import time
+
+from repro.benchsuite import ALL_BENCHMARKS
+from repro.fusion import ALL_LEVELS
+from repro.parallel.validate import exchange_table, validate_program
+from repro.scalarize.scalarizer import compile_program
+
+LEVEL_NAMES = ["Level(baseline)", "Level(c2)", "Level(c2+f4+cse)"]
+PROCS = [1, 2, 4, 6]
+
+
+def test_mp_shard_scaling(save_result):
+    levels = {str(level): level for level in ALL_LEVELS}
+    rows = []
+    timings = []
+    for bench in ALL_BENCHMARKS:
+        program = bench.test_program()
+        for level_name in LEVEL_NAMES:
+            scalar = compile_program(program, levels[level_name])
+            for procs in PROCS:
+                started = time.perf_counter()
+                row = validate_program(
+                    scalar, procs, name=bench.name, level=level_name
+                )
+                elapsed = time.perf_counter() - started
+                rows.append(row)
+                timings.append((bench.name, level_name, procs, elapsed))
+    assert all(row.identical for row in rows)
+    total_measured = sum(row.measured_bytes for row in rows)
+    total_model = sum(row.model_bytes + row.corner_bytes for row in rows)
+    assert total_measured == total_model
+
+    lines = [
+        "mp-shard: measured vs modeled halo traffic (benchsuite)",
+        "%d configurations; every row bit-identical to codegen_np and"
+        % len(rows),
+        "measured == model + corner event-for-event.",
+        "",
+        exchange_table(rows).rstrip(),
+        "",
+        "wall-clock per configuration (seconds, includes fork + validate):",
+        "%-10s %-18s %6s %10s" % ("benchmark", "level", "procs", "seconds"),
+    ]
+    for name, level_name, procs, elapsed in timings:
+        lines.append(
+            "%-10s %-18s %6d %10.3f" % (name, level_name, procs, elapsed)
+        )
+    lines.append("")
+    lines.append(
+        "total measured = total modeled = %d bytes" % total_measured
+    )
+    save_result("mp_shard", "\n".join(lines))

@@ -163,8 +163,9 @@ def _add_backend_argument(parser, default: str) -> None:
         metavar="{%s}" % ",".join(BACKEND_CHOICES),
         help="execution back end (case-insensitive; aliases: %s): loop "
         "interpreter, generated Python element loops, generated "
-        "whole-region NumPy, tile-parallel NumPy sweeps, or "
-        "host-compiled C (needs a C compiler)"
+        "whole-region NumPy, tile-parallel NumPy sweeps, "
+        "host-compiled C (needs a C compiler), or multi-process "
+        "sharding with modeled halo exchanges"
         % ", ".join("%s=%s" % pair for pair in sorted(ALIASES.items())),
     )
 
@@ -220,6 +221,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "--tile-shape", type=_tile_shape, default=None, metavar="N|NxM",
         help="force the tile shape for np-par sweeps (e.g. 32 or 32x1600; "
         "default: $REPRO_TILE_SHAPE or balanced factorization)",
+    )
+    run_parser.add_argument(
+        "--procs", type=_positive_int, default=None, metavar="N",
+        help="worker processes (mp-shard backend only; default: "
+        "$REPRO_PROCS or up to 4)",
+    )
+    run_parser.add_argument(
+        "--local-backend", default=None, metavar="NAME",
+        help="per-shard backend for mp-shard workers (default codegen_np)",
     )
 
     estimate_parser = sub.add_parser("estimate", help="estimate cost")
@@ -510,6 +520,16 @@ def cmd_run(args) -> int:
                 raise SystemExit(
                     "--%s only applies to the np-par backend "
                     "(got --backend %s)" % (flag.replace("_", "-"), args.backend)
+                )
+            options[flag] = value
+    for flag, value in (("procs", args.procs),
+                        ("local_backend", args.local_backend)):
+        if value is not None:
+            if args.backend != "mp-shard":
+                raise SystemExit(
+                    "--%s only applies to the mp-shard backend "
+                    "(got --backend %s)"
+                    % (flag.replace("_", "-"), args.backend)
                 )
             options[flag] = value
     result = execute(scalar_program, args.backend, **options)
@@ -835,8 +855,21 @@ def cmd_stats(args) -> int:
     cache = ArtifactCache(root=args.cache_dir)
     if args.format == "prom":
         from repro.obs import render_prometheus
+        from repro.obs.registry import registered_counter_names
+        from repro.service import Metrics
 
-        print(render_prometheus(cache_stats=cache.stats()), end="")
+        # A fresh process has no traffic, but the scrape must still
+        # carry every registered counter at zero (dashboards alert on
+        # absent series, not on zeros).
+        zeroes = Metrics()
+        zeroes.register(registered_counter_names())
+        print(
+            render_prometheus(
+                metrics_snapshot=zeroes.snapshot(),
+                cache_stats=cache.stats(),
+            ),
+            end="",
+        )
         return 0
     artifacts = []
     now = time.time()

@@ -69,6 +69,9 @@ class Daemon:
     def __init__(self, config: Optional[DaemonConfig] = None, trace=None) -> None:
         self.config = config or DaemonConfig()
         self.metrics = Metrics()
+        from repro.obs.registry import registered_counter_names
+
+        self.metrics.register(registered_counter_names())
         self.tracer = resolve_tracer(trace)
         self.token = shm.session_token()
         self.queue = AdmissionQueue(self.config.queue_depth)

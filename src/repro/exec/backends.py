@@ -31,6 +31,18 @@ Three ways to execute a scalarized program, one calling convention:
     raises :class:`repro.util.errors.BackendUnavailableError` (probe
     with :func:`repro.exec.native.cc_available`).
 
+``mp-shard`` (alias ``mp_shard``, ``shard``)
+    The multi-process sharded backend (:mod:`repro.exec.mp_shard`):
+    regions are block-partitioned across worker *processes* on a
+    :class:`repro.parallel.distribution.ProcessorGrid`, each worker runs
+    one of the single-process backends on its clamped sub-region
+    (``local_backend=``, default ``codegen_np``), and halos move through
+    ``multiprocessing.shared_memory`` on exactly the exchange schedules
+    :mod:`repro.parallel.commopt` derives.  Accepts ``procs=`` (default
+    ``$REPRO_PROCS`` or up to 4) and ``comm_options=`` (a
+    :class:`repro.parallel.commopt.CommOptions`).  Results are
+    bit-identical to ``codegen_np``.
+
 All of them return an :class:`ExecutionResult`: plain dicts of final
 array and scalar state, directly comparable across back ends.
 """
@@ -118,6 +130,28 @@ def _run_c(
     return ExecutionResult(dict(arrays), dict(scalars))
 
 
+def _run_mp_shard(
+    program: ScalarProgram,
+    initial_arrays: InitialArrays = None,
+    procs: Optional[int] = None,
+    local_backend: str = "codegen_np",
+    comm_options=None,
+    metrics=None,
+    tracer=None,
+) -> ExecutionResult:
+    from repro.exec.mp_shard import execute_mp_shard
+
+    return execute_mp_shard(
+        program,
+        initial_arrays=initial_arrays,
+        procs=procs,
+        local_backend=local_backend,
+        comm_options=comm_options,
+        metrics=metrics,
+        tracer=tracer,
+    )
+
+
 BACKENDS: Dict[str, Backend] = {
     "interp": Backend("interp", "tree-walking loop interpreter", _run_interp),
     "codegen_py": Backend(
@@ -135,6 +169,12 @@ BACKENDS: Dict[str, Backend] = {
     "c": Backend(
         "c", "host-compiled C loop nests (cc + ctypes)", _run_c
     ),
+    "mp-shard": Backend(
+        "mp-shard",
+        "multi-process sharding with modeled halo exchanges",
+        _run_mp_shard,
+        options="procs=N, local_backend=NAME, comm_options=CommOptions",
+    ),
 }
 
 #: Historical and short spellings accepted wherever a backend is named.
@@ -147,6 +187,8 @@ ALIASES: Dict[str, str] = {
     "par": "np-par",
     "cc": "c",
     "native": "c",
+    "mp_shard": "mp-shard",
+    "shard": "mp-shard",
 }
 
 #: Canonical backend names only — aliases resolve to these but are not

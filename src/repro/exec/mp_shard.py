@@ -1,0 +1,1136 @@
+"""Multi-process sharded execution: the communication model, executed.
+
+``mp-shard`` partitions every region across worker *processes* laid out
+on a :class:`~repro.parallel.distribution.ProcessorGrid`, runs the
+existing single-process backends (``codegen_np`` by default — ``py`` and
+``c`` work too) on each worker's clamped sub-region, and moves halo data
+between workers through ``multiprocessing.shared_memory`` using exactly
+the exchange schedules :mod:`repro.parallel.commopt` derives:
+
+* **message vectorization** is implicit — each planned copy is one whole
+  border strip written as a single contiguous segment write;
+* **redundancy elimination** — events ``eliminate_redundant`` drops are
+  genuinely never executed (``comm.eliminated`` counts them);
+* **message combining** — events ``combine_messages`` groups share one
+  segment region and one barrier round-trip (``comm.combined``);
+* **pipelining** — posts happen at the schedule's post point, before the
+  intervening nests execute, and the wait lands at the consuming nest.
+
+The driver walk is *lockstep deterministic*: every worker performs the
+same walk over the same program, so barrier sequences, segment names and
+exchange ordinals agree without any coordination messages.  Scalar state
+is replicated (sequential control flow evaluates everywhere); reduction
+results and contraction-corner scalars are broadcast through a small
+pickle segment so the replicas never diverge.
+
+Two situations cannot execute clamped and fall back to whole-nest
+execution on rank 0 (gather → execute → scatter, counted under
+``comm.fallback_nests``): a statement reading, across a cut dimension,
+an array an earlier statement of the same nest wrote (a true fusion-made
+recurrence — the §5.5 ``FAVOR_COMM`` policy exists to avoid creating
+these), and circular-buffer (partially contracted) arrays cut along
+their buffered dimension.
+
+Bit-identity with the single-process oracle is a design invariant, not a
+tolerance: clamped nests compute the same elementwise values (halos hold
+the pre-statement values normal form reads), and reductions materialize
+per-point operands into a scratch array that rank 0 folds over the full
+region in the oracle's own order, so even non-associative float
+reductions match the oracle bitwise.
+
+Measured traffic is validated against the analytic model by
+:mod:`repro.parallel.validate`; the byte accounting (``comm.bytes``)
+counts exactly what the model prices — border-strip elements at the
+model's 8 bytes/element — while reduction and fallback traffic is kept
+apart under ``comm.reduce_bytes`` / ``comm.gather_bytes``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import struct
+import time
+import traceback
+import uuid
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.ir import expr as ir
+from repro.ir.region import Region
+from repro.parallel.commopt import ALL_COMM_OPTS, CommOptions
+from repro.parallel.distribution import ProcessorGrid
+from repro.parallel.shard import (
+    ELEM_BYTES,
+    RunPlan,
+    ShardError,
+    ShardLayout,
+    nest_fallback_reason,
+    plan_run,
+    program_rank,
+)
+from repro.scalarize.emit_common import (
+    DTYPES,
+    infer_expr_kind,
+    int_config_env,
+    validate_inputs,
+)
+from repro.scalarize.loopnest import (
+    ElemAssign,
+    LoopNest,
+    ReductionLoop,
+    SBoundary,
+    ScalarAssign,
+    ScalarProgram,
+    SeqLoop,
+    SIf,
+    SNode,
+    SWhile,
+)
+from repro.util.errors import ReproError
+
+Bounds = Tuple[Tuple[int, int], ...]
+
+_SCALAR_DEFAULTS = {"float": 0.0, "integer": 0, "boolean": False}
+
+_SCAL_SEG_BYTES = 1 << 20
+_BARRIER_TIMEOUT_S = 120.0
+_RED_PREFIX = "__shard_red"
+
+
+def default_procs() -> int:
+    """Worker count when the caller does not say: $REPRO_PROCS or ≤4."""
+    env = os.environ.get("REPRO_PROCS", "")
+    if env.strip():
+        return max(1, int(env))
+    return min(4, os.cpu_count() or 1)
+
+
+# -- report types ----------------------------------------------------------
+
+
+class ExchangeRecord:
+    """One executed wire message, with planned and measured bytes."""
+
+    __slots__ = (
+        "ordinal",
+        "arrays",
+        "events",
+        "planned_bytes",
+        "model_bytes",
+        "corner_bytes",
+        "measured_bytes",
+        "post_point",
+        "wait_point",
+        "duration_us",
+    )
+
+    def __init__(self, ordinal: int, arrays: Tuple[str, ...],
+                 events: List[dict], planned_bytes: int, model_bytes: int,
+                 corner_bytes: int, post_point: int, wait_point: int) -> None:
+        self.ordinal = ordinal
+        self.arrays = arrays
+        self.events = events
+        self.planned_bytes = planned_bytes
+        self.model_bytes = model_bytes
+        self.corner_bytes = corner_bytes
+        self.measured_bytes = 0
+        self.post_point = post_point
+        self.wait_point = wait_point
+        self.duration_us = 0.0
+
+    def __repr__(self) -> str:
+        return (
+            "ExchangeRecord(#%d %s planned=%dB measured=%dB model=%dB"
+            "+%dB corner)" % (
+                self.ordinal, "+".join(self.arrays), self.planned_bytes,
+                self.measured_bytes, self.model_bytes, self.corner_bytes,
+            )
+        )
+
+
+class CommReport:
+    """Everything the validation harness compares against the model."""
+
+    def __init__(self, procs: int, grid_shape: Tuple[int, ...],
+                 records: List[ExchangeRecord], counters: Dict[str, int]) -> None:
+        self.procs = procs
+        self.grid_shape = grid_shape
+        self.records = records
+        self.counters = counters
+
+    @property
+    def exchanges(self) -> int:
+        return len(self.records)
+
+    @property
+    def measured_bytes(self) -> int:
+        return sum(record.measured_bytes for record in self.records)
+
+    @property
+    def model_bytes(self) -> int:
+        return sum(record.model_bytes for record in self.records)
+
+
+# -- geometry helpers ------------------------------------------------------
+
+
+def _shape_of(bounds: Bounds) -> Tuple[int, ...]:
+    return tuple(max(hi - lo + 1, 1) for lo, hi in bounds)
+
+
+def _elements(bounds: Bounds) -> int:
+    count = 1
+    for lo, hi in bounds:
+        count *= max(0, hi - lo + 1)
+    return count
+
+
+def _index(alloc: Bounds, box: Bounds) -> Tuple[slice, ...]:
+    """Numpy index of ``box`` inside an array allocated over ``alloc``."""
+    return tuple(
+        slice(blo - alo, bhi - alo + 1)
+        for (alo, _ahi), (blo, bhi) in zip(alloc, box)
+    )
+
+
+def _intersect(a: Bounds, b: Bounds) -> Optional[Bounds]:
+    out = []
+    for (alo, ahi), (blo, bhi) in zip(a, b):
+        lo, hi = max(alo, blo), min(ahi, bhi)
+        if lo > hi:
+            return None
+        out.append((lo, hi))
+    return tuple(out)
+
+
+def _scalar_value(value: object) -> object:
+    """A plain Python value for ``Const`` baking (exact repr round-trip)."""
+    if isinstance(value, (bool, np.bool_)):
+        return bool(value)
+    if isinstance(value, (int, np.integer)):
+        return int(value)
+    return float(value)
+
+
+def _node_scalar_reads(node: SNode) -> Set[str]:
+    names: Set[str] = set()
+    exprs: List[ir.IRExpr] = []
+    if isinstance(node, LoopNest):
+        exprs = [stmt.rhs for stmt in node.body]
+    elif isinstance(node, ReductionLoop):
+        exprs = [node.operand]
+    for expr in exprs:
+        for sub in expr.walk():
+            if isinstance(sub, ir.ScalarRef):
+                names.add(sub.name)
+    return names
+
+
+def _node_arrays(node: SNode) -> Set[str]:
+    names: Set[str] = set()
+    if isinstance(node, LoopNest):
+        for stmt in node.body:
+            if stmt.target is not None:
+                names.add(stmt.target)
+            for ref in stmt.rhs.array_refs():
+                names.add(ref.name)
+    elif isinstance(node, ReductionLoop):
+        for ref in node.operand.array_refs():
+            names.add(ref.name)
+    return names
+
+
+def _written_arrays(node: SNode) -> Set[str]:
+    if isinstance(node, LoopNest):
+        return {stmt.target for stmt in node.body if stmt.target is not None}
+    return set()
+
+
+# -- the worker ------------------------------------------------------------
+
+
+class _Worker:
+    """One shard: local arrays, replicated scalars, the lockstep walk."""
+
+    def __init__(self, rank: int, program: ScalarProgram, layout: ShardLayout,
+                 options: CommOptions, local_backend: str, sid: str,
+                 barrier, inputs: Optional[Mapping[str, np.ndarray]]) -> None:
+        self.rank = rank
+        self.program = program
+        self.layout = layout
+        self.options = options
+        self.local_backend = local_backend
+        self.sid = sid
+        self.barrier = barrier
+        self.config_env = int_config_env(program.configs)
+        self.scalars: Dict[str, object] = {
+            name: _SCALAR_DEFAULTS[kind]
+            for name, kind in program.scalars.items()
+        }
+        self.local_bounds: Dict[str, Bounds] = {}
+        self.locals: Dict[str, np.ndarray] = {}
+        for name, (bounds, kind) in layout.allocs.items():
+            local = layout.local_alloc(rank, name)
+            self.local_bounds[name] = local
+            array = np.zeros(_shape_of(local), dtype=DTYPES[kind])
+            if inputs and name in inputs:
+                box = _intersect(local, bounds)
+                if box is not None:
+                    array[_index(local, box)] = np.asarray(inputs[name])[
+                        _index(bounds, box)
+                    ]
+            self.locals[name] = array
+        self.segments: Dict[str, object] = {}
+        self.created: List[str] = []
+        self.plan_cache: Dict[object, Tuple[RunPlan, str]] = {}
+        self.next_seg = 0
+        self.next_ordinal = 0
+        self.measured: Dict[int, int] = {}
+        self.records: List[ExchangeRecord] = []
+        self.counters: Dict[str, int] = {
+            "comm.exchanges": 0,
+            "comm.bytes": 0,
+            "comm.combined": 0,
+            "comm.eliminated": 0,
+            "comm.fallback_nests": 0,
+            "comm.reduce_bytes": 0,
+            "comm.gather_bytes": 0,
+        }
+        self._inflight: Dict[int, float] = {}
+        self._steps = 0
+
+    # -- shared memory -----------------------------------------------------
+
+    def _segment(self, name: str, size: int):
+        seg = self.segments.get(name)
+        if seg is not None:
+            return seg
+        from multiprocessing import shared_memory
+
+        size = max(size, 1)
+        if self.rank == 0:
+            seg = shared_memory.SharedMemory(name=name, create=True, size=size)
+            self.created.append(name)
+            self.barrier.wait(_BARRIER_TIMEOUT_S)
+        else:
+            self.barrier.wait(_BARRIER_TIMEOUT_S)
+            seg = shared_memory.SharedMemory(name=name)
+        self.segments[name] = seg
+        return seg
+
+    def close(self) -> None:
+        for seg in self.segments.values():
+            try:
+                seg.close()
+            except (OSError, BufferError):
+                pass
+            if self.rank == 0:
+                try:
+                    seg.unlink()
+                except OSError:
+                    pass
+
+    def _bcast(self, owner: int, payload: Optional[dict]) -> dict:
+        """Owner → everyone, through the pickle segment, double-fenced."""
+        seg = self._segment(self.sid + "_scal", _SCAL_SEG_BYTES)
+        if self.rank == owner:
+            blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+            if len(blob) + 8 > seg.size:
+                raise ShardError("scalar broadcast of %dB too large" % len(blob))
+            struct.pack_into("<Q", seg.buf, 0, len(blob))
+            seg.buf[8:8 + len(blob)] = blob
+        self.barrier.wait(_BARRIER_TIMEOUT_S)
+        (length,) = struct.unpack_from("<Q", seg.buf, 0)
+        out = pickle.loads(bytes(seg.buf[8:8 + length]))
+        self.barrier.wait(_BARRIER_TIMEOUT_S)
+        return out
+
+    # -- env and mini-program construction ---------------------------------
+
+    def _region_env(self) -> Dict[str, int]:
+        env = dict(self.config_env)
+        env.update(
+            (name, int(value))
+            for name, value in self.scalars.items()
+            if isinstance(value, (int, np.integer))
+            and not isinstance(value, bool)
+        )
+        return env
+
+    def _scalar_kind(self, name: str) -> str:
+        return self.program.scalars.get(name, "float")
+
+    def _prologue(self, names: Set[str]) -> List[SNode]:
+        return [
+            ScalarAssign(name, ir.Const(_scalar_value(self.scalars[name])))
+            for name in sorted(names)
+            if name in self.scalars
+        ]
+
+    def _mini(self, body_node: SNode,
+              allocs: Dict[str, Tuple[Bounds, str]]) -> ScalarProgram:
+        scalar_names = _node_scalar_reads(body_node)
+        scalar_kinds = {
+            name: self._scalar_kind(name) for name in scalar_names
+        }
+        if isinstance(body_node, LoopNest):
+            for stmt in body_node.body:
+                if stmt.scalar_target is not None:
+                    scalar_kinds[stmt.scalar_target] = self._scalar_kind(
+                        stmt.scalar_target
+                    )
+        elif isinstance(body_node, ReductionLoop):
+            scalar_kinds[body_node.target] = self._scalar_kind(
+                body_node.target
+            )
+        partial = {
+            name: spec for name, spec in self.program.partial.items()
+            if name in allocs
+        }
+        return ScalarProgram(
+            self.program.name + "__shard",
+            {},
+            {
+                name: (Region.literal(*bounds), kind)
+                for name, (bounds, kind) in allocs.items()
+            },
+            scalar_kinds,
+            self._prologue(scalar_names) + [body_node],
+            partial=partial,
+        )
+
+    def _execute_mini(self, mini: ScalarProgram,
+                      arrays: Mapping[str, np.ndarray]):
+        from repro.exec.backends import execute
+
+        return execute(mini, self.local_backend, initial_arrays=dict(arrays))
+
+    # -- exchange execution ------------------------------------------------
+
+    def _write_message(self, seg, message, ordinal: int) -> None:
+        written = 0
+        for planned_event in message.events:
+            dtype = DTYPES[self.layout.allocs[planned_event.event.array][1]]
+            for copy in planned_event.copies:
+                own = self.layout.owned_box(self.rank, copy.box)
+                if own is None:
+                    continue
+                slot = np.ndarray(
+                    _shape_of(copy.box), dtype=dtype,
+                    buffer=seg.buf, offset=copy.offset_bytes,
+                )
+                slot[_index(copy.box, own)] = self.locals[
+                    planned_event.event.array
+                ][_index(self.local_bounds[planned_event.event.array], own)]
+                written += _elements(own) * ELEM_BYTES
+        if written:
+            self.measured[ordinal] = self.measured.get(ordinal, 0) + written
+            self.counters["comm.bytes"] += written
+
+    def _read_message(self, seg, message) -> None:
+        for planned_event in message.events:
+            name = planned_event.event.array
+            dtype = DTYPES[self.layout.allocs[name][1]]
+            local = self.local_bounds[name]
+            for copy in planned_event.copies:
+                sub = _intersect(copy.box, local)
+                if sub is None:
+                    continue
+                slot = np.ndarray(
+                    _shape_of(copy.box), dtype=dtype,
+                    buffer=seg.buf, offset=copy.offset_bytes,
+                )
+                self.locals[name][_index(local, sub)] = slot[
+                    _index(copy.box, sub)
+                ]
+
+    # -- run execution -----------------------------------------------------
+
+    def _plan_for(self, run: Sequence[SNode],
+                  env: Mapping[str, int]) -> Tuple[RunPlan, str]:
+        bounds_key = tuple(
+            tuple(node.region.concrete_bounds(env)) for node in run
+        )
+        key = (tuple(id(node) for node in run), bounds_key)
+        entry = self.plan_cache.get(key)
+        if entry is None:
+            fallback = tuple(
+                index for index, node in enumerate(run)
+                if nest_fallback_reason(node, self.layout, self.program.partial)
+            )
+            plan = plan_run(run, self.layout, env, self.options, fallback)
+            name = "%s_x%d" % (self.sid, self.next_seg)
+            self.next_seg += 1
+            entry = (plan, name)
+            self.plan_cache[key] = entry
+        return entry
+
+    def _exec_run(self, run: Sequence[SNode]) -> None:
+        env = self._region_env()
+        plan, seg_name = self._plan_for(run, env)
+        seg = (
+            self._segment(seg_name, plan.segment_bytes)
+            if plan.segment_bytes else None
+        )
+        posts: Dict[int, List] = {}
+        waits: Dict[int, List] = {}
+        ordinals: Dict[int, int] = {}
+        for message in plan.messages:
+            posts.setdefault(message.post_point, []).append(message)
+            waits.setdefault(message.wait_point, []).append(message)
+            ordinals[message.index] = self.next_ordinal
+            self.next_ordinal += 1
+        if self.rank == 0:
+            self.counters["comm.exchanges"] += len(plan.messages)
+            self.counters["comm.combined"] += plan.combined
+            self.counters["comm.eliminated"] += plan.eliminated
+            self.counters["comm.fallback_nests"] += len(plan.fallback_indices)
+            for message in plan.messages:
+                self.records.append(
+                    ExchangeRecord(
+                        ordinals[message.index],
+                        message.arrays,
+                        [
+                            {
+                                "array": pe.event.array,
+                                "dim": pe.event.dim,
+                                "direction": pe.event.direction,
+                                "width": pe.event.width,
+                                "nest_index": pe.event.nest_index,
+                                "event_bytes": pe.event.bytes,
+                                "pairs": len(pe.copies),
+                                "clipped": pe.clipped,
+                                "planned_bytes": pe.bytes,
+                                "model_bytes": pe.model_bytes,
+                                "corner_bytes": pe.corner_bytes,
+                            }
+                            for pe in message.events
+                        ],
+                        message.size_bytes,
+                        message.model_bytes,
+                        message.corner_bytes,
+                        message.post_point,
+                        message.wait_point,
+                    )
+                )
+        fallback = set(plan.fallback_indices)
+        for step in range(len(run) + 1):
+            post_here = posts.get(step)
+            wait_here = waits.get(step)
+            if post_here or wait_here:
+                now = time.perf_counter()
+                for message in post_here or ():
+                    self._inflight[ordinals[message.index]] = now
+                    self._write_message(seg, message, ordinals[message.index])
+                self.barrier.wait(_BARRIER_TIMEOUT_S)
+                for message in wait_here or ():
+                    self._read_message(seg, message)
+                self.barrier.wait(_BARRIER_TIMEOUT_S)
+                if self.rank == 0 and wait_here:
+                    done = time.perf_counter()
+                    for message in wait_here:
+                        ordinal = ordinals[message.index]
+                        for record in self.records:
+                            if record.ordinal == ordinal:
+                                record.duration_us = (
+                                    done - self._inflight.get(ordinal, now)
+                                ) * 1e6
+            if step < len(run):
+                node = run[step]
+                if step in fallback:
+                    self._exec_fallback(node, env, seg_name, step)
+                else:
+                    self._exec_clamped(node, env, seg_name, step)
+
+    # -- node execution ----------------------------------------------------
+
+    def _local_allocs_for(self, names: Set[str]) -> Dict[str, Tuple[Bounds, str]]:
+        return {
+            name: (self.local_bounds[name], self.layout.allocs[name][1])
+            for name in sorted(names)
+        }
+
+    def _exec_clamped(self, node: SNode, env: Mapping[str, int],
+                      seg_prefix: str, step: int) -> None:
+        bounds = tuple(node.region.concrete_bounds(env))
+        clamp = self.layout.clamp(self.rank, bounds)
+        reduce_specs = self._reduce_specs(node)
+        corner_names = self._corner_scalar_names(node)
+        arrays = _node_arrays(node)
+        result = None
+        if clamp is not None:
+            allocs = self._local_allocs_for(arrays)
+            if reduce_specs:
+                exec_node = self._materialized(node, clamp, reduce_specs)
+                for red_name, _op, _target, rhs in reduce_specs:
+                    kind = infer_expr_kind(
+                        rhs,
+                        {n: k for n, (_b, k) in self.layout.allocs.items()},
+                        self.program.scalars,
+                    )
+                    allocs[red_name] = (clamp, kind)
+            else:
+                exec_node = LoopNest(
+                    Region.literal(*clamp), node.structure, node.body,
+                    cluster_id=node.cluster_id,
+                    carried_depth=node.carried_depth,
+                )
+            mini = self._mini(exec_node, allocs)
+            result = self._execute_mini(mini, {
+                name: self.locals[name] for name in arrays
+            })
+            for name in _written_arrays(node):
+                self.locals[name] = result.arrays[name]
+        if reduce_specs:
+            self._combine_reductions(
+                node, bounds, clamp, reduce_specs, result, seg_prefix, step
+            )
+        if corner_names:
+            structure = (
+                node.structure if isinstance(node, LoopNest)
+                else tuple(range(1, len(bounds) + 1))
+            )
+            owner = self.layout.corner_owner(bounds, structure)
+            payload = None
+            if self.rank == owner:
+                payload = {
+                    name: _scalar_value(result.scalars[name])
+                    for name in corner_names
+                }
+            updates = self._bcast(owner, payload)
+            self.scalars.update(updates)
+
+    def _reduce_specs(self, node: SNode):
+        """(scratch array, op, accumulator scalar, operand) per reduction."""
+        specs = []
+        if isinstance(node, ReductionLoop):
+            specs.append((_RED_PREFIX + "0", node.op, node.target, node.operand))
+        elif isinstance(node, LoopNest):
+            for index, stmt in enumerate(node.body):
+                if stmt.reduce_op is not None:
+                    specs.append((
+                        "%s%d" % (_RED_PREFIX, index),
+                        stmt.reduce_op,
+                        stmt.scalar_target,
+                        stmt.rhs,
+                    ))
+        return specs
+
+    def _corner_scalar_names(self, node: SNode) -> List[str]:
+        if not isinstance(node, LoopNest):
+            return []
+        return [
+            stmt.scalar_target for stmt in node.body
+            if stmt.is_contracted and stmt.reduce_op is None
+        ]
+
+    def _materialized(self, node: SNode, clamp: Bounds, reduce_specs) -> SNode:
+        """The clamped nest with reductions turned into scratch writes.
+
+        Every reduce statement becomes an elementwise store of its
+        operand into a per-statement scratch array, *in place* in the
+        body so earlier contraction scalars still feed it; rank 0 then
+        folds the assembled full-region scratch in the oracle's order.
+        """
+        region = Region.literal(*clamp)
+        if isinstance(node, ReductionLoop):
+            body = [ElemAssign(reduce_specs[0][0], None, node.operand)]
+            structure = tuple(range(1, len(clamp) + 1))
+            return LoopNest(region, structure, body, carried_depth=0)
+        by_index = {
+            int(name[len(_RED_PREFIX):]): name
+            for name, _op, _target, _rhs in reduce_specs
+        }
+        body = []
+        for index, stmt in enumerate(node.body):
+            if index in by_index:
+                body.append(ElemAssign(by_index[index], None, stmt.rhs))
+            else:
+                body.append(stmt)
+        return LoopNest(
+            region, node.structure, body,
+            cluster_id=node.cluster_id, carried_depth=node.carried_depth,
+        )
+
+    def _combine_reductions(self, node: SNode, bounds: Bounds,
+                            clamp: Optional[Bounds], reduce_specs, result,
+                            seg_prefix: str, step: int) -> None:
+        """Gather per-point operands to rank 0; fold in oracle order."""
+        offsets: Dict[str, int] = {}
+        cursor = 0
+        full = _elements(bounds)
+        kinds: Dict[str, str] = {}
+        for red_name, _op, _target, rhs in reduce_specs:
+            kinds[red_name] = infer_expr_kind(
+                rhs,
+                {n: k for n, (_b, k) in self.layout.allocs.items()},
+                self.program.scalars,
+            )
+            offsets[red_name] = cursor
+            cursor += full * ELEM_BYTES
+        seg = self._segment("%s_r%d" % (seg_prefix, step), cursor)
+        if clamp is not None and result is not None:
+            for red_name in offsets:
+                view = np.ndarray(
+                    _shape_of(bounds), dtype=DTYPES[kinds[red_name]],
+                    buffer=seg.buf, offset=offsets[red_name],
+                )
+                view[_index(bounds, clamp)] = result.arrays[red_name]
+                self.counters["comm.reduce_bytes"] += (
+                    _elements(clamp) * ELEM_BYTES
+                )
+        self.barrier.wait(_BARRIER_TIMEOUT_S)
+        payload = None
+        if self.rank == 0:
+            zeros = (0,) * len(bounds)
+            region = Region.literal(*bounds)
+            scratch = {
+                red_name: np.ndarray(
+                    _shape_of(bounds), dtype=DTYPES[kinds[red_name]],
+                    buffer=seg.buf, offset=offsets[red_name],
+                ).copy()
+                for red_name in offsets
+            }
+            if isinstance(node, ReductionLoop):
+                red_name, op, target, _rhs = reduce_specs[0]
+                fold: SNode = ReductionLoop(
+                    target, op, region, ir.ArrayRef(red_name, zeros)
+                )
+            else:
+                fold = LoopNest(
+                    region,
+                    node.structure,
+                    [
+                        ElemAssign(
+                            None, target, ir.ArrayRef(red_name, zeros),
+                            reduce_op=op,
+                        )
+                        for red_name, op, target, _rhs in reduce_specs
+                    ],
+                    carried_depth=0,
+                )
+            allocs = {
+                red_name: (bounds, kinds[red_name]) for red_name in offsets
+            }
+            mini = self._mini(fold, allocs)
+            # Fused reductions fold from the accumulator's pre-nest value
+            # (the oracle's ``acc = acc + np.sum(...)``), so seed it.
+            mini.body = [
+                ScalarAssign(
+                    target, ir.Const(_scalar_value(self.scalars[target]))
+                )
+                for _red, _op, target, _rhs in reduce_specs
+            ] + mini.body
+            folded = self._execute_mini(mini, scratch)
+            payload = {
+                target: _scalar_value(folded.scalars[target])
+                for _red, _op, target, _rhs in reduce_specs
+            }
+        updates = self._bcast(0, payload)
+        self.scalars.update(updates)
+
+    def _exec_fallback(self, node: SNode, env: Mapping[str, int],
+                       seg_prefix: str, step: int) -> None:
+        """Gather → execute the whole nest on rank 0 → scatter."""
+        arrays = sorted(_node_arrays(node))
+        offsets: Dict[str, int] = {}
+        cursor = 0
+        for name in arrays:
+            offsets[name] = cursor
+            cursor += _elements(self.layout.allocs[name][0]) * ELEM_BYTES
+        seg = self._segment("%s_f%d" % (seg_prefix, step), cursor)
+        views = {
+            name: np.ndarray(
+                _shape_of(self.layout.allocs[name][0]),
+                dtype=DTYPES[self.layout.allocs[name][1]],
+                buffer=seg.buf, offset=offsets[name],
+            )
+            for name in arrays
+        }
+        for name in arrays:
+            own = self.layout.owned_box(self.rank, self.layout.allocs[name][0])
+            if own is None:
+                continue
+            views[name][_index(self.layout.allocs[name][0], own)] = (
+                self.locals[name][_index(self.local_bounds[name], own)]
+            )
+        self.barrier.wait(_BARRIER_TIMEOUT_S)
+        payload = None
+        if self.rank == 0:
+            self.counters["comm.gather_bytes"] += cursor
+            allocs = {
+                name: (self.layout.allocs[name][0], self.layout.allocs[name][1])
+                for name in arrays
+            }
+            mini = self._mini(node, allocs)
+            result = self._execute_mini(
+                mini, {name: views[name].copy() for name in arrays}
+            )
+            for name in _written_arrays(node):
+                views[name][...] = result.arrays[name]
+            names = list(self._corner_scalar_names(node))
+            if isinstance(node, ReductionLoop):
+                names.append(node.target)
+            elif isinstance(node, LoopNest):
+                names.extend(
+                    stmt.scalar_target for stmt in node.body
+                    if stmt.reduce_op is not None
+                )
+            payload = {
+                name: _scalar_value(result.scalars[name]) for name in names
+            }
+        self.barrier.wait(_BARRIER_TIMEOUT_S)
+        for name in _written_arrays(node):
+            local = self.local_bounds[name]
+            if _elements(local) > 0:
+                self.locals[name][...] = np.reshape(
+                    views[name][_index(self.layout.allocs[name][0], local)],
+                    self.locals[name].shape,
+                )
+        self.barrier.wait(_BARRIER_TIMEOUT_S)
+        updates = self._bcast(0, payload)
+        self.scalars.update(updates)
+
+    # -- the walk ----------------------------------------------------------
+
+    def _tick(self) -> None:
+        self._steps += 1
+        if self._steps > 50_000_000:
+            raise ShardError("step limit exceeded (runaway loop?)")
+
+    def execute_body(self, body: Sequence[SNode]) -> None:
+        from repro.interp.evalexpr import eval_scalar
+
+        index = 0
+        while index < len(body):
+            node = body[index]
+            self._tick()
+            if isinstance(node, (LoopNest, ReductionLoop)):
+                end = index
+                while end < len(body) and isinstance(
+                    body[end], (LoopNest, ReductionLoop)
+                ):
+                    end += 1
+                self._exec_run(body[index:end])
+                index = end
+                continue
+            if isinstance(node, ScalarAssign):
+                self.scalars[node.target] = eval_scalar(node.rhs, self.scalars)
+            elif isinstance(node, SeqLoop):
+                lo = int(eval_scalar(node.lo, self.scalars))
+                hi = int(eval_scalar(node.hi, self.scalars))
+                iterator = (
+                    range(lo, hi - 1, -1) if node.downto else range(lo, hi + 1)
+                )
+                for value in iterator:
+                    self.scalars[node.var] = value
+                    self.execute_body(node.body)
+            elif isinstance(node, SIf):
+                if bool(eval_scalar(node.cond, self.scalars)):
+                    self.execute_body(node.then_body)
+                else:
+                    self.execute_body(node.else_body)
+            elif isinstance(node, SWhile):
+                while bool(eval_scalar(node.cond, self.scalars)):
+                    self._tick()
+                    self.execute_body(node.body)
+            elif isinstance(node, SBoundary):
+                raise ShardError(
+                    "boundary statements are not supported under sharding"
+                )
+            else:
+                raise ShardError("cannot execute %r sharded" % (node,))
+            index += 1
+
+    def finish(self, out_names: Mapping[str, str]) -> dict:
+        """Write owned boxes to the output segments; return the summary."""
+        for name, seg_name in out_names.items():
+            bounds, kind = self.layout.allocs[name]
+            seg = self.segments.get(seg_name)
+            if seg is None:
+                from multiprocessing import shared_memory
+
+                seg = shared_memory.SharedMemory(name=seg_name)
+                self.segments[seg_name] = seg
+            view = np.ndarray(
+                _shape_of(bounds), dtype=DTYPES[kind], buffer=seg.buf
+            )
+            own = self.layout.owned_box(self.rank, bounds)
+            if own is not None:
+                view[_index(bounds, own)] = self.locals[name][
+                    _index(self.local_bounds[name], own)
+                ]
+        summary = {
+            "rank": self.rank,
+            "measured": self.measured,
+            "counters": self.counters,
+        }
+        if self.rank == 0:
+            summary["scalars"] = {
+                name: self.scalars[name] for name in self.program.scalars
+            }
+            summary["records"] = [
+                {
+                    "ordinal": record.ordinal,
+                    "arrays": record.arrays,
+                    "events": record.events,
+                    "planned_bytes": record.planned_bytes,
+                    "model_bytes": record.model_bytes,
+                    "corner_bytes": record.corner_bytes,
+                    "post_point": record.post_point,
+                    "wait_point": record.wait_point,
+                    "duration_us": record.duration_us,
+                }
+                for record in self.records
+            ]
+        return summary
+
+
+def _worker_main(rank: int, program: ScalarProgram, layout: ShardLayout,
+                 options: CommOptions, local_backend: str, sid: str,
+                 barrier, inputs, out_names: Mapping[str, str],
+                 result_queue, error_queue) -> None:
+    worker = None
+    try:
+        worker = _Worker(
+            rank, program, layout, options, local_backend, sid, barrier, inputs
+        )
+        worker.execute_body(program.body)
+        result_queue.put(worker.finish(out_names))
+    except BaseException:
+        error_queue.put((rank, traceback.format_exc()))
+        try:
+            barrier.abort()
+        except (ValueError, OSError):
+            pass
+    finally:
+        if worker is not None:
+            # rank 0 owns unlinking of lockstep segments; output segments
+            # belong to the coordinator, so drop them from the registry
+            # before closing to avoid double-unlink races.
+            for seg_name in list(out_names.values()):
+                seg = worker.segments.pop(seg_name, None)
+                if seg is not None:
+                    try:
+                        seg.close()
+                    except (OSError, BufferError):
+                        pass
+            worker.close()
+
+
+# -- the coordinator -------------------------------------------------------
+
+
+def _single_process(program: ScalarProgram, initial_arrays, local_backend,
+                    procs: int, grid: ProcessorGrid):
+    from repro.exec.backends import execute
+
+    result = execute(program, local_backend, initial_arrays=initial_arrays)
+    report = CommReport(procs, grid.shape, [], {
+        "comm.exchanges": 0,
+        "comm.bytes": 0,
+        "comm.combined": 0,
+        "comm.eliminated": 0,
+        "comm.fallback_nests": 0,
+        "comm.reduce_bytes": 0,
+        "comm.gather_bytes": 0,
+    })
+    return result, report
+
+
+def execute_sharded(
+    program: ScalarProgram,
+    initial_arrays=None,
+    procs: Optional[int] = None,
+    local_backend: str = "codegen_np",
+    comm_options: Optional[CommOptions] = None,
+    metrics=None,
+    tracer=None,
+):
+    """Run ``program`` sharded over ``procs`` workers.
+
+    Returns ``(ExecutionResult, CommReport)``.  The report carries one
+    :class:`ExchangeRecord` per executed wire message with planned,
+    model, corner and measured byte counts — the raw material of the
+    measured-vs-modeled validation in :mod:`repro.parallel.validate`.
+    """
+    from repro.exec.backends import ExecutionResult, get_backend
+
+    local_backend = get_backend(local_backend).name
+    if local_backend == "mp-shard":
+        raise ReproError("mp-shard cannot be its own local backend")
+    if procs is None:
+        procs = default_procs()
+    if procs < 1:
+        raise ReproError("procs must be positive, got %d" % procs)
+    rank = max(program_rank(program), 1)
+    grid = ProcessorGrid(procs, rank)
+    options = comm_options if comm_options is not None else ALL_COMM_OPTS
+    initial_arrays = validate_inputs(program, initial_arrays)
+    started = time.perf_counter()
+    if procs == 1 or not grid.cut_dimensions():
+        result, report = _single_process(
+            program, initial_arrays, local_backend, procs, grid
+        )
+        _emit_obs(report, metrics, tracer, time.perf_counter() - started)
+        return result, report
+
+    env = int_config_env(program.configs)
+    layout = ShardLayout(program, grid, env)
+    sid = "rs%s" % uuid.uuid4().hex[:10]
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:
+        ctx = multiprocessing.get_context("spawn")
+    barrier = ctx.Barrier(procs)
+    result_queue = ctx.Queue()
+    error_queue = ctx.Queue()
+
+    from multiprocessing import shared_memory
+
+    out_names: Dict[str, str] = {}
+    out_segments = []
+    try:
+        for index, name in enumerate(sorted(layout.allocs)):
+            bounds, kind = layout.allocs[name]
+            size = max(
+                1,
+                int(np.prod(_shape_of(bounds)))
+                * np.dtype(DTYPES[kind]).itemsize,
+            )
+            seg = shared_memory.SharedMemory(
+                name="%s_o%d" % (sid, index), create=True, size=size
+            )
+            out_segments.append(seg)
+            out_names[name] = seg.name
+        workers = [
+            ctx.Process(
+                target=_worker_main,
+                args=(
+                    worker_rank, program, layout, options, local_backend,
+                    sid, barrier, initial_arrays, out_names,
+                    result_queue, error_queue,
+                ),
+            )
+            for worker_rank in range(procs)
+        ]
+        for process in workers:
+            process.start()
+        summaries = []
+        deadline = time.monotonic() + _BARRIER_TIMEOUT_S + 60
+        failure = None
+        while len(summaries) < procs and time.monotonic() < deadline:
+            if failure is None and not error_queue.empty():
+                failure = error_queue.get()
+                break
+            if not any(p.is_alive() for p in workers) and result_queue.empty():
+                break
+            try:
+                summaries.append(result_queue.get(timeout=0.25))
+            except Exception:
+                continue
+        for process in workers:
+            process.join(timeout=5 if failure is None else 1)
+            if process.is_alive():
+                process.terminate()
+        if failure is None and not error_queue.empty():
+            failure = error_queue.get()
+        if failure is not None:
+            failed_rank, text = failure
+            raise ReproError(
+                "mp-shard worker %d failed:\n%s" % (failed_rank, text)
+            )
+        if len(summaries) != procs:
+            raise ReproError(
+                "mp-shard collected %d/%d worker results" % (
+                    len(summaries), procs
+                )
+            )
+        arrays: Dict[str, np.ndarray] = {}
+        for name, seg_name in out_names.items():
+            bounds, kind = layout.allocs[name]
+            seg = next(s for s in out_segments if s.name == seg_name)
+            arrays[name] = np.ndarray(
+                _shape_of(bounds), dtype=DTYPES[kind], buffer=seg.buf
+            ).copy()
+    finally:
+        for seg in out_segments:
+            try:
+                seg.close()
+                seg.unlink()
+            except OSError:
+                pass
+
+    rank0 = next(s for s in summaries if s["rank"] == 0)
+    records = [
+        ExchangeRecord(
+            raw["ordinal"], tuple(raw["arrays"]), raw["events"],
+            raw["planned_bytes"], raw["model_bytes"], raw["corner_bytes"],
+            raw["post_point"], raw["wait_point"],
+        )
+        for raw in rank0["records"]
+    ]
+    for record, raw in zip(records, rank0["records"]):
+        record.duration_us = raw["duration_us"]
+    measured_total: Dict[int, int] = {}
+    counters: Dict[str, int] = {}
+    for summary in summaries:
+        for ordinal, nbytes in summary["measured"].items():
+            measured_total[ordinal] = measured_total.get(ordinal, 0) + nbytes
+        for name, value in summary["counters"].items():
+            counters[name] = counters.get(name, 0) + value
+    for record in records:
+        record.measured_bytes = measured_total.get(record.ordinal, 0)
+    report = CommReport(procs, grid.shape, records, counters)
+    scalars = dict(rank0["scalars"])
+    result = ExecutionResult(arrays, scalars)
+    _emit_obs(report, metrics, tracer, time.perf_counter() - started)
+    return result, report
+
+
+def _emit_obs(report: CommReport, metrics, tracer, elapsed_s: float) -> None:
+    if metrics is not None:
+        for name, value in report.counters.items():
+            if value:
+                metrics.incr(name, value)
+        for record in report.records:
+            metrics.observe("comm.exchange", record.duration_us / 1e6)
+    if tracer is not None and getattr(tracer, "enabled", False):
+        for record in report.records:
+            tracer.record(
+                "comm.exchange",
+                record.duration_us,
+                ordinal=record.ordinal,
+                arrays="+".join(record.arrays),
+                planned_bytes=record.planned_bytes,
+                measured_bytes=record.measured_bytes,
+                model_bytes=record.model_bytes,
+                corner_bytes=record.corner_bytes,
+                post_point=record.post_point,
+                wait_point=record.wait_point,
+            )
+
+
+def execute_mp_shard(
+    program: ScalarProgram,
+    initial_arrays=None,
+    procs: Optional[int] = None,
+    local_backend: str = "codegen_np",
+    comm_options: Optional[CommOptions] = None,
+    metrics=None,
+    tracer=None,
+):
+    """Backend-registry entry point: result only, report discarded."""
+    result, _report = execute_sharded(
+        program,
+        initial_arrays=initial_arrays,
+        procs=procs,
+        local_backend=local_backend,
+        comm_options=comm_options,
+        metrics=metrics,
+        tracer=tracer,
+    )
+    return result

@@ -149,6 +149,16 @@ SPANS: List[SpanDef] = [
         "is the HTTP status (200, 503 shed, 413 oversized, 500 failed).",
     ),
     SpanDef(
+        "comm.exchange",
+        ("ordinal", "arrays", "planned_bytes", "measured_bytes",
+         "model_bytes", "corner_bytes", "post_point", "wait_point"),
+        "exec.mp_shard.execute_sharded",
+        "One executed wire message of the mp-shard backend: the shared-"
+        "memory write/read round trip moving one or more combined border "
+        "strips between worker processes, recorded after the run with "
+        "the worker-measured duration.",
+    ),
+    SpanDef(
         "daemon.dispatch",
         ("digest", "batch", "worker"),
         "daemon.pool.WorkerPool._run_batch",
@@ -253,6 +263,43 @@ COUNTERS: List[CounterDef] = [
         "cache and the build lock, one per digest across the pool).",
     ),
     CounterDef(
+        "comm.exchanges",
+        "Wire messages executed by the mp-shard backend (after "
+        "redundancy elimination and combining).",
+    ),
+    CounterDef(
+        "comm.bytes",
+        "Border-strip bytes moved through shared memory, priced at the "
+        "model's 8 bytes/element — directly comparable to "
+        "comm.analyze_run predictions.",
+    ),
+    CounterDef(
+        "comm.combined",
+        "Exchange events merged into an already-counted wire message by "
+        "\u00a75.5 message combining.",
+    ),
+    CounterDef(
+        "comm.eliminated",
+        "Exchange events skipped entirely by \u00a75.5 redundancy "
+        "elimination (the border data was still clean).",
+    ),
+    CounterDef(
+        "comm.fallback_nests",
+        "Nests executed whole on rank 0 (gather/scatter) because clamped "
+        "execution would violate an intra-nest cut-dimension dependence.",
+    ),
+    CounterDef(
+        "comm.reduce_bytes",
+        "Bytes of materialized reduction operands gathered to rank 0 so "
+        "scalar folds match the oracle bit-for-bit (kept apart from "
+        "comm.bytes: the model does not price reductions).",
+    ),
+    CounterDef(
+        "comm.gather_bytes",
+        "Bytes moved by whole-nest fallback gathers and scatters (also "
+        "outside the model's strip accounting).",
+    ),
+    CounterDef(
         "daemon.worker_cc",
         "Host C-compiler invocations inside worker processes (zero on a "
         "warm .so cache).",
@@ -289,6 +336,10 @@ TIMERS: List[TimerDef] = [
     TimerDef("tune.total", "One whole tune() call."),
     TimerDef("tune.compile", "Per-level compilation inside tune()."),
     TimerDef("tune.measure", "One candidate measurement (incl. warmup)."),
+    TimerDef(
+        "comm.exchange",
+        "One mp-shard wire message round trip (post write to wait read).",
+    ),
     TimerDef(
         "daemon.request",
         "One daemon execute request end to end (front-end view).",
@@ -356,6 +407,17 @@ def is_known_counter(name: str) -> bool:
         elif name == counter.name:
             return True
     return False
+
+
+def registered_counter_names() -> List[str]:
+    """Static (non-family) counter names, for zero-value registration.
+
+    Dynamic families (``plan.*``) are excluded: they have no fixed name
+    to pre-register.  Seeding these into a ``Metrics`` instance makes
+    never-incremented counters visible in ``/metrics`` and
+    ``repro stats`` instead of silently absent.
+    """
+    return [c.name for c in COUNTERS if not c.name.endswith("*")]
 
 
 def is_known_timer(name: str) -> bool:

@@ -233,6 +233,39 @@ class Tracer:
                     self._head = 0
             self._spans.append(span)
 
+    def record(self, name: str, duration_us: float, **attrs) -> None:
+        """Record an already-measured interval as a completed span.
+
+        For work timed outside this process (an mp-shard worker's
+        exchange round trip): the span is re-anchored to end *now* on
+        the tracer's clock with the measured duration, parented to the
+        innermost open span on this thread.  No-op when disabled.
+        """
+        if not self.enabled:
+            return
+        stack = self._stack()
+        parent = stack[-1] if stack else None
+        thread = threading.current_thread()
+        end_us = self._now_us()
+        span = Span(
+            name,
+            next(self._ids),
+            parent.span_id if parent is not None else None,
+            max(0, end_us - int(duration_us)),
+            thread.ident or 0,
+            thread.name,
+            attrs,
+        )
+        span.end_us = end_us
+        with self._lock:
+            if len(self._spans) - self._head >= self.capacity:
+                self._head += 1
+                self.dropped += 1
+                if self._head >= self.capacity:
+                    del self._spans[: self._head]
+                    self._head = 0
+            self._spans.append(span)
+
     def current(self) -> Optional[Span]:
         """The innermost span open on *this* thread, or None.
 

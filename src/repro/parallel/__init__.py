@@ -1,4 +1,5 @@
-"""Parallel substrate: distribution, communication, interaction policies."""
+"""Parallel substrate: distribution, communication, interaction
+policies, shard geometry, and measured-vs-modeled validation."""
 
 from repro.parallel.comm import CommEvent, analyze_run, communicated_arrays
 from repro.parallel.commcost import ParallelCostModel, estimate_parallel
@@ -25,7 +26,23 @@ from repro.parallel.engine import (
     execute_numpy_par,
     render_numpy_par,
 )
+from repro.parallel.shard import (
+    RunPlan,
+    ShardLayout,
+    elimination_coverage,
+    halo_widths,
+    plan_run,
+    program_rank,
+)
 from repro.parallel.tiling import halo_elements, plan_tiles, tile_count
+from repro.parallel.validate import (
+    ValidationError,
+    ValidationRow,
+    check_report,
+    exchange_table,
+    validate_benchsuite,
+    validate_program,
+)
 from repro.parallel.interaction import (
     FAVOR_COMM,
     FAVOR_FUSION,
@@ -43,23 +60,35 @@ __all__ = [
     "ParNumpyGenerator",
     "ParallelCostModel",
     "ProcessorGrid",
+    "RunPlan",
+    "ShardLayout",
     "TileEngine",
+    "ValidationError",
+    "ValidationRow",
     "analyze_run",
     "balanced_factorization",
+    "check_report",
     "combine_messages",
     "comm_merge_filter",
     "communicated_arrays",
     "default_engine",
     "default_workers",
     "eliminate_redundant",
+    "elimination_coverage",
     "estimate_parallel",
+    "exchange_table",
     "execute_numpy_par",
     "halo_elements",
+    "halo_widths",
     "message_cost_us",
     "optimized_comm_cost_us",
+    "plan_run",
     "plan_tiles",
+    "program_rank",
     "render_numpy_par",
     "scaled_global_extent",
     "singleton_messages",
     "tile_count",
+    "validate_benchsuite",
+    "validate_program",
 ]

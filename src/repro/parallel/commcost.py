@@ -1,12 +1,30 @@
 """The parallel cost model: per-node computation plus communication.
 
-Extends the sequential model (Section 5.4's scaled-problem methodology: the
-data per processor is constant, so one *local-size* compiled program serves
-every processor count).  Communication is added per run of loop nests:
+Extends the sequential model (Section 5.4's scaled-problem methodology:
+the data per processor is constant, so one *local-size* compiled program
+serves every processor count).  :class:`ParallelCostModel` inherits the
+sequential per-node compute estimate unchanged and adds communication
+per run of loop nests:
 
-* border exchanges for non-zero offsets along cut dimensions, passed through
-  the communication optimizer (:mod:`repro.parallel.commopt`);
-* a ``ceil(log2 p)``-stage combining tree for every full reduction.
+* border exchanges for every non-zero constant offset along a cut
+  dimension, as enumerated by :func:`repro.parallel.comm.analyze_run`
+  and priced through the §5.5 optimizer
+  (:func:`repro.parallel.commopt.optimized_comm_cost_us`), so the
+  estimate reflects whichever :class:`~repro.parallel.commopt.
+  CommOptions` the caller selects;
+* a ``ceil(log2 p)``-stage combining tree for every full reduction in
+  the run, at one 8-byte message per stage.
+
+Contract: ``p`` is the total processor count; the grid shape is the
+:func:`~repro.parallel.distribution.balanced_factorization` of ``p``
+over the rank of the widest allocated region, matching what the
+``mp-shard`` backend executes.  All arrays are treated as distributed
+(Section 6's "every dimension is a potential source of parallelism").
+``p == 1`` degenerates to the sequential model exactly — no events, no
+reduction tree.  Costs are attributed to node 0 of each run, which is
+correct for the per-node (not aggregate) time the scaled-speedup plots
+in Section 5.4 need.  :func:`estimate_parallel` is the one-call wrapper
+the CLI and benchmarks use.
 """
 
 from __future__ import annotations

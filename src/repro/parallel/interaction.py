@@ -14,6 +14,21 @@ Two policies:
 The veto is expressed as a :data:`~repro.fusion.algorithm.MergeFilter`
 handed to the fusion passes, exactly where the paper says the integration
 must happen: at the array level, before scalarization.
+
+Contract: :func:`comm_merge_filter` builds the veto for one statement
+block and grid — it returns a predicate over candidate cluster merges
+that rejects any merge joining two clusters whose positions straddle a
+communication window (the statements between a distributed array's last
+writer and a reader with a non-zero offset along a cut dimension).
+Windows are computed from the *original* statement order, so the filter
+is stable under the fusion pass's own reordering.
+:func:`plan_program_with_policy` is the entry point: given a program, a
+level, a policy name (:data:`FAVOR_FUSION` or :data:`FAVOR_COMM`) and a
+processor count it returns an ordinary
+:class:`~repro.fusion.pipeline.ProgramPlan`; under
+``favor-fusion`` it is byte-for-byte the default planner.  Downstream
+consumers (scalarize, backends, ``mp-shard``) cannot tell which policy
+produced a plan — the policy only changes which merges happen.
 """
 
 from __future__ import annotations

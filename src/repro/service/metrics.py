@@ -21,7 +21,7 @@ import random
 import threading
 import time
 from contextlib import contextmanager
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterable, Iterator, List, Optional
 
 #: Bound on the per-timer sample reservoir the percentiles are computed
 #: from.  256 float samples keep the p95 of a steady-state latency
@@ -134,6 +134,19 @@ class Metrics:
     def incr(self, name: str, amount: int = 1) -> None:
         with self._lock:
             self._counters[name] = self._counters.get(name, 0) + amount
+
+    def register(self, names: Iterable[str]) -> None:
+        """Pre-seed counters at zero so they are visible before first use.
+
+        A registered-but-never-incremented counter (an unused backend,
+        a shed path that never fired) must still appear in ``/metrics``
+        and ``repro stats`` output — scrape-twin dashboards break when a
+        series vanishes instead of reading 0.  Existing counts are left
+        untouched.
+        """
+        with self._lock:
+            for name in names:
+                self._counters.setdefault(name, 0)
 
     def observe(self, name: str, seconds: float) -> None:
         with self._lock:

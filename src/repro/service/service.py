@@ -86,6 +86,11 @@ class Service:
         self.level = _resolve_level(level, "c2")
         self.backend = get_backend(backend).name
         self.metrics = metrics or Metrics()
+        # Every statically-named counter starts visible at zero, so a
+        # scrape before (or without) traffic still exports the full set.
+        from repro.obs.registry import registered_counter_names
+
+        self.metrics.register(registered_counter_names())
         #: Structured tracing (``repro.obs``): ``trace`` may be a
         #: :class:`repro.obs.Tracer`, True/False, or None to consult
         #: ``$REPRO_TRACE``.  The tracer always exists; every traced

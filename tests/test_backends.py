@@ -35,7 +35,14 @@ def scalar_program():
 
 
 def test_registry_names_and_aliases():
-    assert set(BACKENDS) == {"interp", "codegen_py", "codegen_np", "np-par", "c"}
+    assert set(BACKENDS) == {
+        "interp",
+        "codegen_py",
+        "codegen_np",
+        "np-par",
+        "c",
+        "mp-shard",
+    }
     assert get_backend("codegen").name == "codegen_py"
     assert get_backend("cc").name == "c"
     assert get_backend("native").name == "c"
@@ -44,6 +51,8 @@ def test_registry_names_and_aliases():
     assert get_backend("numpy").name == "codegen_np"
     assert get_backend("np_par").name == "np-par"
     assert get_backend("par").name == "np-par"
+    assert get_backend("mp_shard").name == "mp-shard"
+    assert get_backend("shard").name == "mp-shard"
     for target in ALIASES.values():
         assert target in BACKENDS
 

@@ -277,7 +277,8 @@ def test_cli_serve_cold_then_warm(source_file, tmp_path, capsys):
     stats = json.loads(warm_out[warm_out.index("{"):])
     counters = stats["metrics"]["counters"]
     assert counters["cache.hits"] == 3  # base compile + both bindings
-    assert "cache.misses" not in counters
+    # Registered counters stay visible at zero on a fully warm run.
+    assert counters["cache.misses"] == 0
     timers = stats["metrics"]["timers"]
     assert "execute.codegen_np" in timers
 
